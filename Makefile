@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench figures theory loc
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/
+
+# Bounded iterations so the full matrix stays minutes, not hours.
+bench:
+	go test -bench=. -benchmem -benchtime=300x ./...
+
+# Reproduce the paper's figures (CI-scale; add -paper for the full regime).
+figures:
+	go run ./cmd/winbench -fig all
+
+theory:
+	go run ./cmd/wintheory
+	go run ./cmd/wintheory -ratio
+
+loc:
+	@find . -name '*.go' | xargs wc -l | tail -1

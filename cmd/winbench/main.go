@@ -1,0 +1,174 @@
+// Command winbench reproduces the paper's experimental figures on the STM:
+//
+//	winbench -fig 2            window-variant throughput (Fig. 2)
+//	winbench -fig 3            window vs Polka/Greedy/Priority throughput (Fig. 3)
+//	winbench -fig 4            aborts per commit (Fig. 4)
+//	winbench -fig 5            time to commit 20000 transactions (Fig. 5)
+//	winbench -fig ext          Section-IV extension metrics
+//	winbench -fig all          everything above
+//	winbench -fig trace        ASCII execution timeline of one traced run
+//
+// Defaults are CI-friendly; -paper restores the published regime
+// (10-second runs averaged over 6 repetitions, threads up to 32).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wincm/internal/bench"
+	"wincm/internal/harness"
+	"wincm/internal/stm"
+	"wincm/internal/trace"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to reproduce: 2, 3, 4, 5, ext or all")
+		benches   = flag.String("bench", "", "comma-separated benchmarks (default all: list,rbtree,skiplist,vacation)")
+		threads   = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16,32)")
+		dur       = flag.Duration("dur", 300*time.Millisecond, "duration of each timed run")
+		reps      = flag.Int("reps", 2, "repetitions per cell")
+		total     = flag.Int("total", 20000, "transactions for the fig-5 fixed-work runs")
+		fig5M     = flag.Int("fig5-threads", 32, "thread count for fig 5")
+		windowN   = flag.Int("window-n", 50, "window size N for window-based managers")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		paper     = flag.Bool("paper", false, "use the paper's full regime (10s runs × 6 reps)")
+		invisible = flag.Bool("invisible", false, "use invisible (version-validated) reads instead of the paper's visible reads")
+	)
+	flag.Parse()
+
+	opts := harness.Options{
+		Duration:    *dur,
+		Reps:        *reps,
+		TotalTxs:    *total,
+		Fig5Threads: *fig5M,
+		WindowN:     *windowN,
+		Invisible:   *invisible,
+		Seed:        *seed,
+	}
+	if *paper {
+		opts.Duration = 10 * time.Second
+		opts.Reps = 6
+	}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *threads != "" {
+		for _, t := range strings.Split(*threads, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(t))
+			if err != nil || m < 1 {
+				fatalf("bad -threads entry %q", t)
+			}
+			opts.Threads = append(opts.Threads, m)
+		}
+	}
+
+	if *fig == "trace" {
+		traceRun(opts)
+		return
+	}
+
+	drivers := map[string]func(harness.Options) ([]harness.Table, error){
+		"2":   harness.Fig2,
+		"3":   harness.Fig3,
+		"4":   harness.Fig4,
+		"5":   harness.Fig5,
+		"ext": harness.Extended,
+	}
+	order := []string{"2", "3", "4", "5", "ext"}
+
+	run := func(name string) {
+		driver, ok := drivers[name]
+		if !ok {
+			fatalf("unknown figure %q (want 2, 3, 4, 5, ext or all)", name)
+		}
+		tables, err := driver(opts)
+		if err != nil {
+			fatalf("fig %s: %v", name, err)
+		}
+		for i := range tables {
+			if err := tables[i].Render(os.Stdout); err != nil {
+				fatalf("render: %v", err)
+			}
+		}
+	}
+
+	if *fig == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+// traceRun executes one short traced run (first benchmark, first thread
+// count of the options, online-dynamic) and prints the execution timeline
+// and the hottest conflicting thread pairs.
+func traceRun(opts harness.Options) {
+	benchmark := "list"
+	if len(opts.Benchmarks) > 0 {
+		benchmark = opts.Benchmarks[0]
+	}
+	threads := 8
+	if len(opts.Threads) > 0 {
+		threads = opts.Threads[len(opts.Threads)-1]
+	}
+	w, err := harness.NewWorkload(benchmark, bench.Mix{UpdatePct: 100, KeyRange: 256}, opts.Seed)
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	cfg := harness.Config{Manager: "online-dynamic", Threads: threads, WindowN: opts.WindowN, Seed: opts.Seed}
+	inner, err := cfg.NewManager()
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	tr := trace.Wrap(inner)
+	rt := stm.New(threads, tr)
+	rt.SetYieldEvery(8)
+	w.Setup(rt.Thread(0))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			run := w.NewRunner(id, opts.Seed+uint64(id)*7919)
+			for !stop.Load() {
+				run(th)
+			}
+		}(i, rt.Thread(i))
+	}
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	counts := tr.Counts()
+	fmt.Printf("traced %s under online-dynamic, M=%d, %v: %d commits, %d aborts, %d conflicts\n\n",
+		benchmark, threads, opts.Duration,
+		counts[trace.Commit], counts[trace.Abort], counts[trace.Conflict])
+	fmt.Println("timeline (* mostly commits, x mostly aborts, ~ conflicts only):")
+	if err := tr.Timeline(os.Stdout, 72); err != nil {
+		fatalf("trace: %v", err)
+	}
+	fmt.Println("\nhottest conflict pairs (attacker → enemy):")
+	pairs := tr.AbortsByPair()
+	for i, p := range pairs {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  T%02d → T%02d: %d\n", p.Attacker, p.Enemy, p.Conflicts)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "winbench: "+format+"\n", args...)
+	os.Exit(1)
+}

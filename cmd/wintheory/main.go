@@ -1,0 +1,154 @@
+// Command wintheory checks the paper's makespan theorems empirically in
+// the discrete-time window-model simulator: it sweeps the contention
+// measure C (and optionally M and N), runs the Offline and Online
+// algorithms plus the one-shot baseline on random bounded-degree conflict
+// graphs, and reports measured makespans against the theorem expressions
+//
+//	Offline (Thm 2.1): O(τ·(C + N·ln MN))
+//	Online  (Thm 2.3): O(τ·(C·ln MN + N·ln² MN))
+//
+// The ratio column should stay below a modest constant as the parameters
+// scale if the bounds hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"wincm/internal/sim"
+	"wincm/internal/stats"
+)
+
+func main() {
+	var (
+		m       = flag.Int("m", 32, "threads M")
+		n       = flag.Int("n", 16, "transactions per thread N")
+		cs      = flag.String("c", "2,4,8,16,32,64", "comma-separated contention measures C to sweep")
+		colBias = flag.Float64("colbias", 0.7, "fraction of conflicts kept inside window columns")
+		reps    = flag.Int("reps", 5, "repetitions per point")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		ratio   = flag.Bool("ratio", false, "run the competitive-ratio sweep over resources s instead (Thms 2.2/2.4)")
+		ss      = flag.String("s", "2,4,8,16,32,64", "comma-separated resource counts s for -ratio")
+	)
+	flag.Parse()
+
+	if *ratio {
+		ratioSweep(*m, *n, parseInts(*ss), *reps, *seed)
+		return
+	}
+
+	cVals := parseInts(*cs)
+
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "alg\tM\tN\tC\tmakespan\tbound\tratio\taborts\n")
+	for _, alg := range []sim.Algorithm{sim.Offline, sim.Online, sim.OneShot} {
+		for _, c := range cVals {
+			var spans, ratios, aborts []float64
+			var bound float64
+			for rep := 0; rep < *reps; rep++ {
+				p := sim.Params{
+					M: *m, N: *n, C: c, ColBias: *colBias,
+					Algorithm: alg, Seed: *seed + uint64(rep)*7919,
+				}
+				res, err := sim.Run(p)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "wintheory: %v\n", err)
+					os.Exit(1)
+				}
+				spans = append(spans, float64(res.Makespan))
+				ratios = append(ratios, float64(res.Makespan)/res.Bound)
+				aborts = append(aborts, float64(res.Aborts))
+				bound = res.Bound
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%.2f\t%.0f\n",
+				alg, *m, *n, c,
+				stats.Mean(spans), bound, stats.Mean(ratios), stats.Mean(aborts))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "wintheory: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Linear-fit summary: makespan vs bound across the C sweep per
+	// algorithm; slope ≈ the hidden constant, correlation ≈ 1 means the
+	// theorem expression explains the growth.
+	fmt.Println()
+	for _, alg := range []sim.Algorithm{sim.Offline, sim.Online} {
+		var xs, ys []float64
+		for _, c := range cVals {
+			p := sim.Params{M: *m, N: *n, C: c, ColBias: *colBias, Algorithm: alg, Seed: *seed}
+			res, err := sim.Run(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wintheory: %v\n", err)
+				os.Exit(1)
+			}
+			xs = append(xs, res.Bound)
+			ys = append(ys, float64(res.Makespan))
+		}
+		if len(xs) >= 2 {
+			a, b := stats.LinearFit(xs, ys)
+			fmt.Printf("%s: makespan ≈ %.3f·bound %+.1f (r=%.3f)\n",
+				alg, a, b, stats.Pearson(xs, ys))
+		}
+	}
+}
+
+// parseInts parses a comma-separated list of non-negative ints or exits.
+func parseInts(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "wintheory: bad list entry %q\n", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ratioSweep reproduces the competitive-ratio statements (Theorems
+// 2.2/2.4): conflicts derive from s shared resources; the reported ratio
+// is makespan over the optimal lower bound and its envelope is the
+// theorem expression s + ln(MN) (resp. s·ln(MN) + ln²(MN)).
+func ratioSweep(m, n int, sVals []int, reps int, seed uint64) {
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "alg\tM\tN\ts\tmakespan\topt-LB\tratio\tthm-envelope\n")
+	ln := math.Log(float64(m * n))
+	for _, alg := range []sim.Algorithm{sim.Offline, sim.Online, sim.OneShot} {
+		for _, s := range sVals {
+			var spans, lbs, ratios []float64
+			for rep := 0; rep < reps; rep++ {
+				res, err := sim.Run(sim.Params{
+					M: m, N: n, Resources: s,
+					Algorithm: alg, Seed: seed + uint64(rep)*104729,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "wintheory: %v\n", err)
+					os.Exit(1)
+				}
+				spans = append(spans, float64(res.Makespan))
+				lbs = append(lbs, float64(res.OptLB))
+				ratios = append(ratios, res.Ratio)
+			}
+			envelope := float64(s) + ln
+			if alg == sim.Online {
+				envelope = float64(s)*ln + ln*ln
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%.2f\t%.1f\n",
+				alg, m, n, s,
+				stats.Mean(spans), stats.Mean(lbs), stats.Mean(ratios), envelope)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "wintheory: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nratio should stay well under the theorem envelope at every s")
+}

@@ -1,0 +1,52 @@
+// Theory: demonstrates the paper's makespan theorems in the discrete-time
+// window-model simulator. It sweeps the contention measure C, runs the
+// Offline and Online window algorithms next to the one-shot baseline on
+// the same conflict graphs, and prints measured makespans against the
+// theorem expressions — the ratios stay bounded while the baseline's abort
+// count pulls away as contention grows.
+//
+// Usage:
+//
+//	go run ./examples/theory [-m 32] [-n 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"wincm/internal/sim"
+)
+
+func main() {
+	var (
+		m = flag.Int("m", 32, "threads M")
+		n = flag.Int("n", 16, "transactions per thread N")
+	)
+	flag.Parse()
+
+	fmt.Printf("execution window %d×%d, conflicts biased into columns\n\n", *m, *n)
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "C\talg\tmakespan\tbound\tratio\taborts")
+	for _, c := range []int{2, 8, 32, 64} {
+		for _, alg := range []sim.Algorithm{sim.Offline, sim.Online, sim.OneShot} {
+			res, err := sim.Run(sim.Params{
+				M: *m, N: *n, C: c, ColBias: 0.8,
+				Algorithm: alg, Seed: 7,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "theory:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%.0f\t%.2f\t%d\n",
+				c, alg, res.Makespan, res.Bound, float64(res.Makespan)/res.Bound, res.Aborts)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "theory:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nbounds: offline/one-shot C + N·ln(MN) (Thm 2.1); online C·ln(MN) + N·ln²(MN) (Thm 2.3)")
+	fmt.Println("a bounded ratio as C grows is the empirical signature of the theorems")
+}

@@ -1,0 +1,3 @@
+module wincm
+
+go 1.24

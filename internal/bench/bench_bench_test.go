@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"testing"
+
+	"wincm/internal/bench"
+	"wincm/internal/stm"
+)
+
+// BenchmarkSetOps measures single-threaded operation cost on each set at
+// half occupancy of a 256-key range — the figure experiments' baseline
+// transaction duration τ.
+func BenchmarkSetOps(b *testing.B) {
+	for _, name := range bench.SetNames() {
+		b.Run(name, func(b *testing.B) {
+			rt := newRT(b, 1)
+			th := rt.Thread(0)
+			s, _ := bench.NewSet(name)
+			bench.Populate(th, s, 128, 256, 1)
+			g := bench.NewGen(bench.Mix{UpdatePct: 100, KeyRange: 256}, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := g.Next()
+				th.Atomic(func(tx *stm.Tx) { bench.Apply(tx, s, op) })
+			}
+		})
+	}
+}
+
+// BenchmarkSetLookup measures pure lookups (no write acquisition).
+func BenchmarkSetLookup(b *testing.B) {
+	for _, name := range bench.SetNames() {
+		b.Run(name, func(b *testing.B) {
+			rt := newRT(b, 1)
+			th := rt.Thread(0)
+			s, _ := bench.NewSet(name)
+			bench.Populate(th, s, 128, 256, 1)
+			g := bench.NewGen(bench.Mix{UpdatePct: 0, KeyRange: 256}, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := g.Next()
+				th.Atomic(func(tx *stm.Tx) { bench.Apply(tx, s, op) })
+			}
+		})
+	}
+}

@@ -1,0 +1,252 @@
+package bench_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/bench"
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+)
+
+func newRT(t testing.TB, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New("polka", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestNewSet(t *testing.T) {
+	for _, name := range bench.SetNames() {
+		s, err := bench.NewSet(name)
+		if err != nil {
+			t.Fatalf("NewSet(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("NewSet(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := bench.NewSet("bogus"); err == nil {
+		t.Error("NewSet(bogus) succeeded")
+	}
+}
+
+// TestSetOracle drives every set implementation with the same random
+// operation sequence and checks each result against a map oracle.
+func TestSetOracle(t *testing.T) {
+	for _, name := range bench.SetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const ops, keyRange = 4000, 128
+			rt := newRT(t, 1)
+			th := rt.Thread(0)
+			s, _ := bench.NewSet(name)
+			oracle := map[int]bool{}
+			r := rng.New(7)
+			for i := 0; i < ops; i++ {
+				key := r.Intn(keyRange)
+				var got bool
+				switch r.Intn(3) {
+				case 0:
+					th.Atomic(func(tx *stm.Tx) { got = s.Insert(tx, key) })
+					if got == oracle[key] {
+						t.Fatalf("op %d: Insert(%d) = %v, oracle has=%v", i, key, got, oracle[key])
+					}
+					oracle[key] = true
+				case 1:
+					th.Atomic(func(tx *stm.Tx) { got = s.Remove(tx, key) })
+					if got != oracle[key] {
+						t.Fatalf("op %d: Remove(%d) = %v, oracle has=%v", i, key, got, oracle[key])
+					}
+					delete(oracle, key)
+				case 2:
+					th.Atomic(func(tx *stm.Tx) { got = s.Contains(tx, key) })
+					if got != oracle[key] {
+						t.Fatalf("op %d: Contains(%d) = %v, oracle has=%v", i, key, got, oracle[key])
+					}
+				}
+			}
+			keys := s.Keys()
+			if len(keys) != len(oracle) {
+				t.Fatalf("Keys() has %d entries, oracle %d", len(keys), len(oracle))
+			}
+			for _, k := range keys {
+				if !oracle[k] {
+					t.Fatalf("Keys() includes %d, oracle does not", k)
+				}
+			}
+		})
+	}
+}
+
+// TestSetsAgree applies one random batch to all three sets and checks they
+// end in identical states (property-based cross-implementation check).
+func TestSetsAgree(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	f := func(raw []uint16) bool {
+		sets := make([]bench.Set, 0, 3)
+		for _, name := range bench.SetNames() {
+			s, _ := bench.NewSet(name)
+			sets = append(sets, s)
+		}
+		for _, w := range raw {
+			key := int(w % 64)
+			insert := w&0x8000 != 0
+			for _, s := range sets {
+				s := s
+				th.Atomic(func(tx *stm.Tx) {
+					if insert {
+						s.Insert(tx, key)
+					} else {
+						s.Remove(tx, key)
+					}
+				})
+			}
+		}
+		ref := sets[0].Keys()
+		for _, s := range sets[1:] {
+			ks := s.Keys()
+			if len(ks) != len(ref) {
+				return false
+			}
+			for i := range ks {
+				if ks[i] != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSets runs a concurrent mixed workload on each set under a
+// window manager and checks size conservation plus structure validity.
+func TestConcurrentSets(t *testing.T) {
+	for _, name := range bench.SetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const m, perThread = 8, 250
+			mgr, err := cm.New("online-dynamic", m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := stm.New(m, mgr)
+			s, _ := bench.NewSet(name)
+			var net [m]int // successful inserts − successful removes
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(id int, th *stm.Thread) {
+					defer wg.Done()
+					g := bench.NewGen(bench.Mix{UpdatePct: 100, KeyRange: 96}, uint64(id))
+					for j := 0; j < perThread; j++ {
+						op := g.Next()
+						var ok bool
+						th.Atomic(func(tx *stm.Tx) { ok = bench.Apply(tx, s, op) })
+						if ok {
+							switch op.Kind {
+							case bench.OpInsert:
+								net[id]++
+							case bench.OpRemove:
+								net[id]--
+							}
+						}
+					}
+				}(i, rt.Thread(i))
+			}
+			wg.Wait()
+			want := 0
+			for _, n := range net {
+				want += n
+			}
+			if got := len(s.Keys()); got != want {
+				t.Errorf("final size %d, want %d", got, want)
+			}
+			if v, ok := s.(interface{ Validate() error }); ok {
+				if err := v.Validate(); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestValidatorsCatchDamage: each structural validator detects a broken
+// structure as well as accepting healthy ones.
+func TestValidators(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	for _, name := range bench.SetNames() {
+		s, _ := bench.NewSet(name)
+		bench.Populate(th, s, 64, 256, 9)
+		v, ok := s.(interface{ Validate() error })
+		if !ok {
+			t.Fatalf("%s has no validator", name)
+		}
+		if err := v.Validate(); err != nil {
+			t.Errorf("%s: healthy structure rejected: %v", name, err)
+		}
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	rt := newRT(t, 1)
+	for _, name := range bench.SetNames() {
+		s, _ := bench.NewSet(name)
+		n := bench.Populate(rt.Thread(0), s, 100, 1000, 3)
+		if n != 100 {
+			t.Errorf("%s: populated %d, want 100", name, n)
+		}
+		if got := len(s.Keys()); got != 100 {
+			t.Errorf("%s: %d keys after populate", name, got)
+		}
+	}
+}
+
+func TestGenRespectUpdatePct(t *testing.T) {
+	for _, pct := range []int{0, 20, 60, 100} {
+		g := bench.NewGen(bench.Mix{UpdatePct: pct, KeyRange: 100}, 1)
+		updates := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			if op := g.Next(); op.Kind != bench.OpContains {
+				updates++
+			}
+			if op := g.Next(); op.Key < 0 || op.Key >= 100 {
+				t.Fatalf("key %d out of range", op.Key)
+			}
+		}
+		got := float64(updates) / n * 100
+		if got < float64(pct)-3 || got > float64(pct)+3 {
+			t.Errorf("UpdatePct %d: measured %.1f%%", pct, got)
+		}
+	}
+}
+
+func TestGenDefaultKeyRange(t *testing.T) {
+	g := bench.NewGen(bench.Mix{UpdatePct: 50}, 1)
+	for i := 0; i < 100; i++ {
+		if op := g.Next(); op.Key < 0 || op.Key >= 256 {
+			t.Fatalf("key %d outside default range", op.Key)
+		}
+	}
+}
+
+func TestMixPresets(t *testing.T) {
+	if bench.LowContention.UpdatePct != 20 ||
+		bench.MediumContention.UpdatePct != 60 ||
+		bench.HighContention.UpdatePct != 100 {
+		t.Error("contention presets do not match the paper's 20/60/100%")
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"wincm/internal/stm"
+)
+
+// hsNode is an immutable chain cell (same pattern as listNode).
+type hsNode struct {
+	key  int
+	next *stm.TVar[*hsNode]
+}
+
+// HashSet is a transactional chained hash set — the analogue of DSTM's
+// IntSetHash benchmark. Operations touch one bucket chain, so read sets
+// are tiny and conflicts rare: it sits between SkipList and the trivial
+// counter in contention profile and rounds out the set benchmarks.
+type HashSet struct {
+	buckets []*stm.TVar[*hsNode]
+}
+
+var _ Set = (*HashSet)(nil)
+
+// hashSetBuckets is sized so the default 256-key experiments keep chains
+// short without making bucket collisions disappear entirely.
+const hashSetBuckets = 64
+
+// NewHashSet returns an empty hash set.
+func NewHashSet() *HashSet {
+	h := &HashSet{buckets: make([]*stm.TVar[*hsNode], hashSetBuckets)}
+	for i := range h.buckets {
+		h.buckets[i] = stm.NewTVar[*hsNode](nil)
+	}
+	return h
+}
+
+// Name implements Set.
+func (h *HashSet) Name() string { return "hashset" }
+
+// bucket returns the chain head for key (Fibonacci hashing so sequential
+// keys spread).
+func (h *HashSet) bucket(key int) *stm.TVar[*hsNode] {
+	idx := (uint64(key) * 11400714819323198485) % uint64(len(h.buckets))
+	return h.buckets[idx]
+}
+
+// Insert implements Set.
+func (h *HashSet) Insert(tx *stm.Tx, key int) bool {
+	head := h.bucket(key)
+	for n := stm.Read(tx, head); n != nil; n = stm.Read(tx, n.next) {
+		if n.key == key {
+			return false
+		}
+	}
+	first := stm.Read(tx, head)
+	stm.Write(tx, head, &hsNode{key: key, next: stm.NewTVar(first)})
+	return true
+}
+
+// Remove implements Set.
+func (h *HashSet) Remove(tx *stm.Tx, key int) bool {
+	prev := h.bucket(key)
+	for {
+		n := stm.Read(tx, prev)
+		if n == nil {
+			return false
+		}
+		if n.key == key {
+			stm.Write(tx, prev, stm.Read(tx, n.next))
+			return true
+		}
+		prev = n.next
+	}
+}
+
+// Contains implements Set.
+func (h *HashSet) Contains(tx *stm.Tx, key int) bool {
+	for n := stm.Read(tx, h.bucket(key)); n != nil; n = stm.Read(tx, n.next) {
+		if n.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Keys implements Set (quiescent snapshot).
+func (h *HashSet) Keys() []int {
+	var ks []int
+	for _, b := range h.buckets {
+		for n := b.Peek(); n != nil; n = n.next.Peek() {
+			ks = append(ks, n.key)
+		}
+	}
+	return sortedUnique(ks)
+}
+
+// Validate checks the structural invariant in a quiescent state: every
+// key sits in the bucket its hash selects and chains hold no duplicates.
+func (h *HashSet) Validate() error {
+	seen := map[int]bool{}
+	for i, b := range h.buckets {
+		for n := b.Peek(); n != nil; n = n.next.Peek() {
+			if h.bucket(n.key) != h.buckets[i] {
+				return fmt.Errorf("bench: hashset key %d in wrong bucket %d", n.key, i)
+			}
+			if seen[n.key] {
+				return fmt.Errorf("bench: hashset key %d duplicated", n.key)
+			}
+			seen[n.key] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"wincm/internal/stm"
+)
+
+// listNode is an immutable list cell: the key never changes and next is a
+// transactional pointer cell. Head and tail sentinels carry ±∞ keys so the
+// traversal needs no nil checks — the structure of the DSTM IntSet
+// benchmark, the paper's List.
+type listNode struct {
+	key  int
+	next *stm.TVar[*listNode]
+}
+
+// List is a transactional sorted linked list set. Every traversal reads —
+// and, with visible reads, registers on — each hop's next cell, which is
+// what makes List the paper's highest-contention benchmark: any insert or
+// remove near the front conflicts with every concurrent traversal that
+// passed it.
+type List struct {
+	head *listNode
+}
+
+var _ Set = (*List)(nil)
+
+// NewList returns an empty list.
+func NewList() *List {
+	tail := &listNode{key: math.MaxInt}
+	return &List{head: &listNode{key: math.MinInt, next: stm.NewTVar(tail)}}
+}
+
+// Name implements Set.
+func (l *List) Name() string { return "list" }
+
+// search returns the first node with key ≥ k and its predecessor.
+func (l *List) search(tx *stm.Tx, k int) (prev, cur *listNode) {
+	prev = l.head
+	cur = stm.Read(tx, prev.next)
+	for cur.key < k {
+		prev = cur
+		cur = stm.Read(tx, cur.next)
+	}
+	return prev, cur
+}
+
+// Insert implements Set.
+func (l *List) Insert(tx *stm.Tx, key int) bool {
+	prev, cur := l.search(tx, key)
+	if cur.key == key {
+		return false
+	}
+	n := &listNode{key: key, next: stm.NewTVar(cur)}
+	stm.Write(tx, prev.next, n)
+	return true
+}
+
+// Remove implements Set.
+func (l *List) Remove(tx *stm.Tx, key int) bool {
+	prev, cur := l.search(tx, key)
+	if cur.key != key {
+		return false
+	}
+	stm.Write(tx, prev.next, stm.Read(tx, cur.next))
+	return true
+}
+
+// Contains implements Set.
+func (l *List) Contains(tx *stm.Tx, key int) bool {
+	_, cur := l.search(tx, key)
+	return cur.key == key
+}
+
+// Keys implements Set (quiescent snapshot).
+func (l *List) Keys() []int {
+	var ks []int
+	for n := l.head.next.Peek(); n.key != math.MaxInt; n = n.next.Peek() {
+		ks = append(ks, n.key)
+	}
+	return sortedUnique(ks)
+}
+
+// Validate checks the structural invariant in a quiescent state: keys
+// strictly increase from the head sentinel to the tail sentinel.
+func (l *List) Validate() error {
+	prev := l.head.key
+	for n := l.head.next.Peek(); ; n = n.next.Peek() {
+		if n.key <= prev {
+			return fmt.Errorf("bench: list keys not strictly increasing (%d after %d)", n.key, prev)
+		}
+		if n.key == math.MaxInt {
+			return nil
+		}
+		prev = n.key
+	}
+}

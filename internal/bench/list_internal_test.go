@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+// TestListSentinels: a fresh list is exactly head(−∞) → tail(+∞), and the
+// validator accepts it.
+func TestListSentinels(t *testing.T) {
+	l := NewList()
+	if l.head.key != math.MinInt {
+		t.Error("head sentinel key wrong")
+	}
+	if tail := l.head.next.Peek(); tail.key != math.MaxInt {
+		t.Error("tail sentinel key wrong")
+	}
+	if err := l.Validate(); err != nil {
+		t.Error(err)
+	}
+	if got := l.Keys(); len(got) != 0 {
+		t.Errorf("fresh list has keys %v", got)
+	}
+}
+
+// TestListInsertLinksInOrder: inserts splice at the right position.
+func TestListInsertLinksInOrder(t *testing.T) {
+	l := NewList()
+	rt := stm.New(1, cm.NewPolka())
+	th := rt.Thread(0)
+	for _, k := range []int{5, 1, 3, 9, 7} {
+		th.Atomic(func(tx *stm.Tx) { l.Insert(tx, k) })
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5, 7, 9}
+	got := l.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys %v, want %v", got, want)
+		}
+	}
+}

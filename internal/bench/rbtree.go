@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+)
+
+// RBTree is the red-black tree set benchmark, a thin Set adapter over the
+// transactional ordered map in wincm/internal/txmap (the same structure
+// DSTM shipped as its RBTree benchmark).
+type RBTree struct {
+	t *txmap.Tree[struct{}]
+}
+
+var _ Set = (*RBTree)(nil)
+
+// NewRBTree returns an empty tree set.
+func NewRBTree() *RBTree { return &RBTree{t: txmap.New[struct{}]()} }
+
+// Name implements Set.
+func (r *RBTree) Name() string { return "rbtree" }
+
+// Insert implements Set.
+func (r *RBTree) Insert(tx *stm.Tx, key int) bool {
+	return r.t.Insert(tx, key, struct{}{})
+}
+
+// Remove implements Set.
+func (r *RBTree) Remove(tx *stm.Tx, key int) bool {
+	return r.t.Delete(tx, key)
+}
+
+// Contains implements Set.
+func (r *RBTree) Contains(tx *stm.Tx, key int) bool {
+	return r.t.Contains(tx, key)
+}
+
+// Keys implements Set (quiescent snapshot).
+func (r *RBTree) Keys() []int {
+	snap := r.t.Snapshot()
+	ks := make([]int, len(snap))
+	for i, kv := range snap {
+		ks[i] = kv.Key
+	}
+	return ks
+}
+
+// Validate checks the underlying tree's red-black invariants (quiescent
+// state only); the harness calls it after verification runs.
+func (r *RBTree) Validate() error { return r.t.Validate() }

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+)
+
+// skip-list geometry: p = 1/2 towers capped at maxLevel (enough for the
+// key ranges the experiments use and then some).
+const (
+	slMaxLevel = 16
+	slP        = 0.5
+)
+
+// slNode is an immutable skip-list node: key and tower height never
+// change; each tower level is its own transactional pointer cell, so
+// conflicts are per-level, matching the fine-grained object granularity of
+// the DSTM skip-list benchmark.
+type slNode struct {
+	key  int
+	next []*stm.TVar[*slNode] // len = tower height
+}
+
+func newSLNode(key, height int, init *slNode) *slNode {
+	n := &slNode{key: key, next: make([]*stm.TVar[*slNode], height)}
+	for i := range n.next {
+		n.next[i] = stm.NewTVar(init)
+	}
+	return n
+}
+
+// SkipList is a transactional skip-list set. Relative to List its
+// traversals touch O(log n) cells, so the conflict probability is far
+// lower — the paper's low-contention benchmark.
+type SkipList struct {
+	head *slNode
+
+	mu sync.Mutex
+	r  *rng.Rand
+}
+
+var _ Set = (*SkipList)(nil)
+
+// NewSkipList returns an empty skip list with a deterministic tower RNG.
+func NewSkipList() *SkipList {
+	tail := newSLNode(math.MaxInt, 0, nil) // no tower: links point at it
+	return &SkipList{
+		head: newSLNode(math.MinInt, slMaxLevel, tail),
+		r:    rng.New(0x5ca1ab1e),
+	}
+}
+
+// Name implements Set.
+func (s *SkipList) Name() string { return "skiplist" }
+
+// randomHeight draws a tower height in [1, slMaxLevel]. Tower heights are
+// drawn outside transactions (they are not transactional state), so the
+// generator needs its own lock.
+func (s *SkipList) randomHeight() int {
+	s.mu.Lock()
+	h := 1 + s.r.GeometricLevel(slP, slMaxLevel-1)
+	s.mu.Unlock()
+	return h
+}
+
+// search fills preds/succs with the nodes around key at every level and
+// returns the node at level 0 (which has key ≥ search key).
+func (s *SkipList) search(tx *stm.Tx, key int, preds, succs []*slNode) *slNode {
+	pred := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		cur := stm.Read(tx, pred.next[lvl])
+		for cur.key < key {
+			pred = cur
+			cur = stm.Read(tx, cur.next[lvl])
+		}
+		if preds != nil {
+			preds[lvl], succs[lvl] = pred, cur
+		}
+		if lvl == 0 {
+			return cur
+		}
+	}
+	return nil // unreachable: the loop returns at lvl == 0
+}
+
+// Insert implements Set.
+func (s *SkipList) Insert(tx *stm.Tx, key int) bool {
+	var preds, succs [slMaxLevel]*slNode
+	cur := s.search(tx, key, preds[:], succs[:])
+	if cur.key == key {
+		return false
+	}
+	h := s.randomHeight()
+	n := &slNode{key: key, next: make([]*stm.TVar[*slNode], h)}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = stm.NewTVar(succs[lvl])
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		stm.Write(tx, preds[lvl].next[lvl], n)
+	}
+	return true
+}
+
+// Remove implements Set.
+func (s *SkipList) Remove(tx *stm.Tx, key int) bool {
+	var preds, succs [slMaxLevel]*slNode
+	cur := s.search(tx, key, preds[:], succs[:])
+	if cur.key != key {
+		return false
+	}
+	for lvl := 0; lvl < len(cur.next); lvl++ {
+		stm.Write(tx, preds[lvl].next[lvl], stm.Read(tx, cur.next[lvl]))
+	}
+	return true
+}
+
+// Contains implements Set.
+func (s *SkipList) Contains(tx *stm.Tx, key int) bool {
+	cur := s.search(tx, key, nil, nil)
+	return cur.key == key
+}
+
+// Keys implements Set (quiescent snapshot along level 0).
+func (s *SkipList) Keys() []int {
+	var ks []int
+	for n := s.head.next[0].Peek(); n.key != math.MaxInt; n = n.next[0].Peek() {
+		ks = append(ks, n.key)
+	}
+	return sortedUnique(ks)
+}
+
+// Validate checks the structural invariants in a quiescent state: keys
+// strictly increase at every level, and each level's node set is a subset
+// of the level below (tower property).
+func (s *SkipList) Validate() error {
+	below := map[int]bool{}
+	for lvl := 0; lvl < slMaxLevel; lvl++ {
+		prev := math.MinInt
+		here := map[int]bool{}
+		for n := s.head.next[lvl].Peek(); n.key != math.MaxInt; {
+			if n.key <= prev {
+				return fmt.Errorf("bench: skiplist level %d keys not increasing (%d after %d)", lvl, n.key, prev)
+			}
+			prev = n.key
+			here[n.key] = true
+			if lvl > 0 && !below[n.key] {
+				return fmt.Errorf("bench: skiplist key %d on level %d missing from level %d", n.key, lvl, lvl-1)
+			}
+			if lvl >= len(n.next) {
+				return fmt.Errorf("bench: skiplist key %d reached via level %d beyond its height %d", n.key, lvl, len(n.next))
+			}
+			n = n.next[lvl].Peek()
+		}
+		below = here
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRandomHeightDistribution checks the tower generator: heights are in
+// [1, slMaxLevel] and roughly geometric (mean ≈ 2 for p = 1/2).
+func TestRandomHeightDistribution(t *testing.T) {
+	s := NewSkipList()
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		h := s.randomHeight()
+		if h < 1 || h > slMaxLevel {
+			t.Fatalf("height %d out of range", h)
+		}
+		sum += h
+	}
+	mean := float64(sum) / n
+	if mean < 1.85 || mean > 2.15 {
+		t.Errorf("mean height = %v, want ≈ 2", mean)
+	}
+}
+
+// TestHeadTowerFull: the head sentinel spans every level so searches can
+// start at the top.
+func TestHeadTowerFull(t *testing.T) {
+	s := NewSkipList()
+	if len(s.head.next) != slMaxLevel {
+		t.Fatalf("head tower %d, want %d", len(s.head.next), slMaxLevel)
+	}
+	for lvl, cell := range s.head.next {
+		if cell.Peek().key <= s.head.key {
+			t.Errorf("level %d initial link not past head", lvl)
+		}
+	}
+}

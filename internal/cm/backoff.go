@@ -1,0 +1,78 @@
+package cm
+
+import (
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// Backoff timing shared by Polite, Backoff and Polka. The DSTM2 managers
+// used log₂-spaced exponential spans starting in the microsecond range.
+const (
+	// baseWait is the first backoff span.
+	baseWait = 4 * time.Microsecond
+	// maxExp caps the exponent so spans stay bounded (4µs · 2¹⁰ ≈ 4ms).
+	maxExp = 10
+)
+
+// backoffSpan returns the exponential span for the n-th round (n ≥ 1).
+func backoffSpan(n int) time.Duration {
+	if n > maxExp {
+		n = maxExp
+	}
+	return baseWait << uint(n-1)
+}
+
+// Polite backs off exponentially for a bounded number of rounds, giving the
+// enemy time to finish, then aborts it.
+type Polite struct {
+	stm.NopManager
+	// Rounds is the number of backoff rounds before aborting the enemy.
+	Rounds int
+}
+
+// NewPolite returns a Polite manager with the classic 8 rounds.
+func NewPolite() *Polite { return &Polite{Rounds: 8} }
+
+// Resolve implements stm.ContentionManager.
+func (p *Polite) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if attempt > p.Rounds {
+		return stm.AbortEnemy, 0
+	}
+	return stm.Wait, backoffSpan(attempt)
+}
+
+// Backoff aborts itself and relies on the restart delay growing
+// exponentially with the number of aborts of the logical transaction. It is
+// the STM analogue of test-and-test-and-set spinlock backoff.
+type Backoff struct {
+	stm.NopManager
+}
+
+// NewBackoff returns a Backoff manager.
+func NewBackoff() *Backoff { return &Backoff{} }
+
+// Resolve implements stm.ContentionManager.
+func (b *Backoff) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	return stm.AbortSelf, 0
+}
+
+// Begin implements stm.ContentionManager: delay restarts exponentially in
+// the number of prior aborts.
+func (b *Backoff) Begin(tx *stm.Tx) {
+	if n := tx.D.Attempts - 1; n > 0 {
+		sleepFor(backoffSpan(n))
+	}
+}
+
+// sleepFor busy-waits for short spans and sleeps for long ones; it mirrors
+// the runtime's waiting behaviour for managers that delay in Begin.
+func sleepFor(d time.Duration) {
+	if d < 50*time.Microsecond {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+		}
+		return
+	}
+	time.Sleep(d)
+}

@@ -1,0 +1,26 @@
+package cm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSpanGrowsAndCaps(t *testing.T) {
+	last := time.Duration(0)
+	for n := 1; n <= maxExp; n++ {
+		s := backoffSpan(n)
+		if s <= last {
+			t.Fatalf("span(%d) = %v not growing from %v", n, s, last)
+		}
+		last = s
+	}
+	cap := backoffSpan(maxExp)
+	for n := maxExp + 1; n < maxExp+5; n++ {
+		if got := backoffSpan(n); got != cap {
+			t.Errorf("span(%d) = %v, want capped %v", n, got, cap)
+		}
+	}
+	if backoffSpan(1) != baseWait {
+		t.Errorf("span(1) = %v, want %v", backoffSpan(1), baseWait)
+	}
+}

@@ -1,0 +1,81 @@
+// Package cm implements the baseline contention managers the paper compares
+// against — Polka, Greedy, and Priority — plus the classic managers they
+// are built from (Karma, Backoff, Polite, Aggressive, Timid, Timestamp).
+//
+// All managers implement stm.ContentionManager. Policy descriptions follow
+// Scherer & Scott (PODC'05) and Guerraoui, Herlihy & Pochon (PODC'05),
+// which are the papers the evaluated DSTM2 implementations came from.
+package cm
+
+import (
+	"fmt"
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// Factory builds a contention manager for a runtime of m threads.
+type Factory func(m int) stm.ContentionManager
+
+// factories maps manager names to constructors. Window-based managers are
+// registered by the core package; keeping one registry lets the harness and
+// CLI select any manager by name.
+var factories = map[string]Factory{}
+
+// Register adds a named factory. It panics on duplicates, which would
+// indicate an init-order bug.
+func Register(name string, f Factory) {
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("cm: duplicate manager %q", name))
+	}
+	factories[name] = f
+}
+
+// New builds the named manager for m threads. It returns an error for
+// unknown names so the CLI can report bad -cm flags cleanly.
+func New(name string, m int) (stm.ContentionManager, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("cm: unknown contention manager %q", name)
+	}
+	return f(m), nil
+}
+
+// Names returns the registered manager names (unsorted).
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	return out
+}
+
+func init() {
+	Register("aggressive", func(int) stm.ContentionManager { return Aggressive{} })
+	Register("timid", func(int) stm.ContentionManager { return Timid{} })
+	Register("polite", func(int) stm.ContentionManager { return NewPolite() })
+	Register("backoff", func(int) stm.ContentionManager { return NewBackoff() })
+	Register("karma", func(int) stm.ContentionManager { return NewKarma() })
+	Register("polka", func(int) stm.ContentionManager { return NewPolka() })
+	Register("greedy", func(int) stm.ContentionManager { return NewGreedy() })
+	Register("priority", func(int) stm.ContentionManager { return NewPriority() })
+	Register("timestamp", func(int) stm.ContentionManager { return NewTimestamp() })
+}
+
+// Aggressive always aborts the enemy. It is livelock-prone under
+// contention and serves as the "no policy" baseline.
+type Aggressive struct{ stm.NopManager }
+
+// Resolve implements stm.ContentionManager.
+func (Aggressive) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	return stm.AbortEnemy, 0
+}
+
+// Timid always aborts itself and retries. It never makes an enemy lose
+// work, at the price of potentially starving.
+type Timid struct{ stm.NopManager }
+
+// Resolve implements stm.ContentionManager.
+func (Timid) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	return stm.AbortSelf, 0
+}

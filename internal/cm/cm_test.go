@@ -1,0 +1,254 @@
+package cm_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+// descPair builds two committed-capturing transactions with controlled
+// birth order: a (older) then b (younger).
+func descPair(t *testing.T) (older, younger *stm.Tx) {
+	t.Helper()
+	rt := stm.New(2, cm.Aggressive{})
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { older = tx })
+	time.Sleep(time.Millisecond)
+	rt.Thread(1).Atomic(func(tx *stm.Tx) { younger = tx })
+	if older.D.Birth >= younger.D.Birth {
+		t.Fatal("birth order not established")
+	}
+	return older, younger
+}
+
+func TestRegistryContents(t *testing.T) {
+	names := cm.Names()
+	sort.Strings(names)
+	want := []string{"aggressive", "backoff", "greedy", "karma", "polite", "polka", "priority", "timestamp", "timid"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manager %q not registered", w)
+		}
+	}
+	if _, err := cm.New("no-such-cm", 1); err == nil {
+		t.Error("unknown manager accepted")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	cm.Register("polka", func(int) stm.ContentionManager { return cm.Aggressive{} })
+}
+
+func TestAggressiveAndTimid(t *testing.T) {
+	a, b := descPair(t)
+	if d, _ := (cm.Aggressive{}).Resolve(a, b, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("Aggressive = %v", d)
+	}
+	if d, _ := (cm.Timid{}).Resolve(a, b, stm.WriteWrite, 1); d != stm.AbortSelf {
+		t.Errorf("Timid = %v", d)
+	}
+}
+
+func TestPriorityDecidesByAge(t *testing.T) {
+	older, younger := descPair(t)
+	p := cm.NewPriority()
+	if d, _ := p.Resolve(older, younger, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("older attacker: %v, want abort-enemy", d)
+	}
+	if d, _ := p.Resolve(younger, older, stm.WriteWrite, 1); d != stm.Wait {
+		t.Errorf("younger attacker: %v, want wait (poll the older enemy)", d)
+	}
+}
+
+func TestGreedyDecisions(t *testing.T) {
+	older, younger := descPair(t)
+	g := cm.NewGreedy()
+	// Older attacker kills the younger enemy.
+	if d, _ := g.Resolve(older, younger, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("older attacker: %v", d)
+	}
+	// Younger attacker waits on an active older enemy...
+	if d, _ := g.Resolve(younger, older, stm.WriteWrite, 1); d != stm.Wait {
+		t.Errorf("younger attacker vs running older: %v", d)
+	}
+	// ...but kills it once the older enemy is itself waiting.
+	older.D.Waiting.Store(true)
+	if d, _ := g.Resolve(younger, older, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("younger attacker vs waiting older: %v", d)
+	}
+	older.D.Waiting.Store(false)
+}
+
+// TestGreedyNeverMutualWait: for any pair, at most one side may wait —
+// the pending-commit property's mechanical prerequisite.
+func TestGreedyNeverMutualWait(t *testing.T) {
+	a, b := descPair(t)
+	g := cm.NewGreedy()
+	da, _ := g.Resolve(a, b, stm.WriteWrite, 1)
+	db, _ := g.Resolve(b, a, stm.WriteWrite, 1)
+	if da == stm.Wait && db == stm.Wait {
+		t.Error("both sides wait")
+	}
+}
+
+func TestTimestampGivesBoundedGrace(t *testing.T) {
+	older, younger := descPair(t)
+	ts := cm.NewTimestamp()
+	if d, _ := ts.Resolve(older, younger, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("older attacker: %v", d)
+	}
+	for attempt := 1; attempt <= ts.Rounds; attempt++ {
+		if d, _ := ts.Resolve(younger, older, stm.WriteWrite, attempt); d != stm.Wait {
+			t.Fatalf("attempt %d: %v, want wait", attempt, d)
+		}
+	}
+	if d, _ := ts.Resolve(younger, older, stm.WriteWrite, ts.Rounds+1); d != stm.AbortEnemy {
+		t.Errorf("past grace: %v, want abort-enemy", d)
+	}
+}
+
+func TestKarmaComparesAccumulatedWork(t *testing.T) {
+	a, b := descPair(t)
+	k := cm.NewKarma()
+	a.D.Karma.Store(5)
+	b.D.Karma.Store(10)
+	if d, _ := k.Resolve(a, b, stm.WriteWrite, 1); d != stm.Wait {
+		t.Errorf("low-karma attacker: %v, want wait", d)
+	}
+	// The attempt counter eventually overcomes the gap.
+	if d, _ := k.Resolve(a, b, stm.WriteWrite, 7); d != stm.AbortEnemy {
+		t.Errorf("after enough rounds: %v, want abort-enemy", d)
+	}
+	if d, _ := k.Resolve(b, a, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("high-karma attacker: %v", d)
+	}
+	k.Committed(b)
+	if got := b.D.Karma.Load(); got != 0 {
+		t.Errorf("karma after commit = %d", got)
+	}
+}
+
+func TestPolkaWaitsPriorityGapRounds(t *testing.T) {
+	a, b := descPair(t)
+	p := cm.NewPolka()
+	a.D.Karma.Store(0)
+	b.D.Karma.Store(3)
+	for attempt := 1; attempt <= 3; attempt++ {
+		d, w := p.Resolve(a, b, stm.WriteWrite, attempt)
+		if d != stm.Wait {
+			t.Fatalf("attempt %d: %v, want wait", attempt, d)
+		}
+		if w <= 0 {
+			t.Fatalf("attempt %d: non-positive wait", attempt)
+		}
+	}
+	if d, _ := p.Resolve(a, b, stm.WriteWrite, 4); d != stm.AbortEnemy {
+		t.Errorf("past gap: %v, want abort-enemy", d)
+	}
+	// Equal karma: no grace at all.
+	b.D.Karma.Store(0)
+	if d, _ := p.Resolve(a, b, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("equal karma: %v, want abort-enemy", d)
+	}
+	// Gap capped at MaxRounds.
+	b.D.Karma.Store(1000)
+	if d, _ := p.Resolve(a, b, stm.WriteWrite, p.MaxRounds+1); d != stm.AbortEnemy {
+		t.Errorf("huge gap: %v, want abort-enemy after cap", d)
+	}
+	p.Committed(b)
+	if b.D.Karma.Load() != 0 {
+		t.Error("Polka did not reset karma on commit")
+	}
+}
+
+func TestPoliteBacksOffThenAborts(t *testing.T) {
+	a, b := descPair(t)
+	p := cm.NewPolite()
+	var last time.Duration
+	for attempt := 1; attempt <= p.Rounds; attempt++ {
+		d, w := p.Resolve(a, b, stm.WriteWrite, attempt)
+		if d != stm.Wait {
+			t.Fatalf("attempt %d: %v", attempt, d)
+		}
+		if attempt > 1 && w <= last {
+			t.Fatalf("backoff not growing: %v after %v", w, last)
+		}
+		last = w
+	}
+	if d, _ := p.Resolve(a, b, stm.WriteWrite, p.Rounds+1); d != stm.AbortEnemy {
+		t.Error("Polite never aborted the enemy")
+	}
+}
+
+func TestBackoffAbortsSelf(t *testing.T) {
+	a, b := descPair(t)
+	bo := cm.NewBackoff()
+	if d, _ := bo.Resolve(a, b, stm.WriteWrite, 1); d != stm.AbortSelf {
+		t.Error("Backoff did not abort self")
+	}
+}
+
+// TestKarmaOpenAccumulation: opening variables raises karma through the
+// real runtime hooks.
+func TestKarmaOpenAccumulation(t *testing.T) {
+	mgr := cm.NewKarma()
+	rt := stm.New(1, mgr)
+	vars := []*stm.TVar[int]{stm.NewTVar(1), stm.NewTVar(2), stm.NewTVar(3)}
+	var karma int64
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		for _, v := range vars {
+			stm.Read(tx, v)
+		}
+		karma = tx.D.Karma.Load()
+	})
+	if karma != 3 {
+		t.Errorf("karma after 3 opens = %d", karma)
+	}
+}
+
+// TestAllManagersMakeProgressUnderConflict: every registered baseline
+// commits a contended workload (no deadlock/livelock in practice).
+func TestAllManagersMakeProgressUnderConflict(t *testing.T) {
+	for _, name := range []string{"aggressive", "polite", "backoff", "karma", "polka", "greedy", "priority", "timestamp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mgr, err := cm.New(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := stm.New(4, mgr)
+			v := stm.NewTVar(0)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(th *stm.Thread) {
+					defer wg.Done()
+					for j := 0; j < 100; j++ {
+						th.Atomic(func(tx *stm.Tx) {
+							stm.Write(tx, v, stm.Read(tx, v)+1)
+						})
+					}
+				}(rt.Thread(i))
+			}
+			wg.Wait()
+			if got := v.Peek(); got != 400 {
+				t.Errorf("counter = %d", got)
+			}
+		})
+	}
+}

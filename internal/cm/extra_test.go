@@ -1,0 +1,158 @@
+package cm_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+func TestExtraManagersRegistered(t *testing.T) {
+	for _, name := range []string{"randomized-rounds", "sizematters", "eruption", "kindergarten"} {
+		if _, err := cm.New(name, 4); err != nil {
+			t.Errorf("cm.New(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRandomizedRoundsDrawsAndDecides(t *testing.T) {
+	rr := cm.NewRandomizedRounds(8)
+	rt := stm.New(2, rr)
+	var a, b *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { a = tx })
+	rt.Thread(1).Atomic(func(tx *stm.Tx) { b = tx })
+	pa, pb := a.D.Aux.Load(), b.D.Aux.Load()
+	if pa < 1 || pa > 8 || pb < 1 || pb > 8 {
+		t.Fatalf("priorities out of range: %d, %d", pa, pb)
+	}
+	d1, _ := rr.Resolve(a, b, stm.WriteWrite, 1)
+	d2, _ := rr.Resolve(b, a, stm.WriteWrite, 1)
+	// Exactly one side may hold the immediate win.
+	if d1 == stm.AbortEnemy && d2 == stm.AbortEnemy {
+		t.Error("both sides won the same conflict")
+	}
+	// Past patience, the loser yields.
+	if d, _ := rr.Resolve(a, b, stm.WriteWrite, 13); d != stm.AbortEnemy && d != stm.AbortSelf {
+		t.Errorf("post-patience decision = %v", d)
+	}
+}
+
+func TestRandomizedRoundsRedrawsOnAbort(t *testing.T) {
+	rr := cm.NewRandomizedRounds(1 << 15) // wide range: collision unlikely
+	rt := stm.New(1, rr)
+	var captured *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { captured = tx })
+	before := captured.D.Aux.Load()
+	changed := false
+	for i := 0; i < 16 && !changed; i++ {
+		rr.Aborted(captured)
+		changed = captured.D.Aux.Load() != before
+	}
+	if !changed {
+		t.Error("priority never redrawn across 16 aborts")
+	}
+}
+
+func TestSizeMattersPrefersBigFootprint(t *testing.T) {
+	a, b := descPair(t)
+	s := cm.NewSizeMatters()
+	a.D.Karma.Store(10)
+	b.D.Karma.Store(2)
+	if d, _ := s.Resolve(a, b, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("big attacker: %v", d)
+	}
+	if d, _ := s.Resolve(b, a, stm.WriteWrite, 1); d != stm.Wait {
+		t.Errorf("small attacker: %v, want wait", d)
+	}
+	if d, _ := s.Resolve(b, a, stm.WriteWrite, s.Rounds+1); d != stm.AbortSelf {
+		t.Errorf("small attacker past rounds: %v, want abort-self", d)
+	}
+	// Begin resets the footprint (aborts forfeit size).
+	s.Begin(a)
+	if a.D.Karma.Load() != 0 {
+		t.Error("footprint not reset at attempt start")
+	}
+}
+
+func TestEruptionTransfersMomentum(t *testing.T) {
+	a, b := descPair(t)
+	e := cm.NewEruption()
+	e.Begin(a)
+	e.Begin(b)
+	a.D.Karma.Store(4) // attacker's momentum
+	b.D.Karma.Store(6) // enemy is bigger
+	if d, _ := e.Resolve(a, b, stm.WriteWrite, 1); d != stm.Wait {
+		t.Fatalf("smaller attacker: %v, want wait", d)
+	}
+	// First contact transferred the attacker's pressure to the enemy.
+	if got := b.D.Aux.Load(); got != 4 {
+		t.Errorf("enemy pressure = %d, want 4", got)
+	}
+	// The enemy now erupts through a third transaction of size 8.
+	c := a // reuse as a third-party stand-in
+	c.D.Karma.Store(8)
+	c.D.Aux.Store(0)
+	if d, _ := e.Resolve(b, c, stm.WriteWrite, 1); d != stm.AbortEnemy {
+		t.Errorf("pressured enemy vs size-8: %v, want abort-enemy (6+4 > 8)", d)
+	}
+	e.Committed(b)
+	if b.D.Karma.Load() != 0 || b.D.Aux.Load() != 0 {
+		t.Error("commit did not reset pressure")
+	}
+}
+
+func TestKindergartenTakesTurns(t *testing.T) {
+	a, b := descPair(t)
+	k := cm.NewKindergarten()
+	k.Begin(a)
+	// First conflict with b: defer.
+	if d, _ := k.Resolve(a, b, stm.WriteWrite, 1); d != stm.Wait {
+		t.Fatalf("first conflict: %v, want wait", d)
+	}
+	// Repeat conflict with the same enemy: our turn now.
+	if d, _ := k.Resolve(a, b, stm.WriteWrite, 2); d != stm.AbortEnemy {
+		t.Errorf("repeat conflict: %v, want abort-enemy", d)
+	}
+}
+
+// TestExtraManagersProgress: the additional managers complete a contended
+// counter workload correctly.
+func TestExtraManagersProgress(t *testing.T) {
+	for _, name := range []string{"randomized-rounds", "sizematters", "eruption", "kindergarten"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mgr, err := cm.New(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := stm.New(4, mgr)
+			rt.SetYieldEvery(4)
+			v := stm.NewTVar(0)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func(th *stm.Thread) {
+					defer wg.Done()
+					for j := 0; j < 150; j++ {
+						th.Atomic(func(tx *stm.Tx) {
+							stm.Write(tx, v, stm.Read(tx, v)+1)
+						})
+					}
+				}(rt.Thread(i))
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("workload did not finish (livelock?)")
+			}
+			if got := v.Peek(); got != 600 {
+				t.Errorf("counter = %d, want 600", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package cm
+
+import (
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// Greedy is the first contention manager with provable properties
+// (Guerraoui, Herlihy & Pochon). Every transaction carries a static
+// timestamp from its first attempt. On conflict the attacker aborts the
+// enemy if the enemy is younger or is itself waiting; otherwise the
+// attacker waits (and is marked waiting, so the older enemy can kill it if
+// they meet again). The timestamp order is total, so exactly one side of
+// any conflict pair can wait indefinitely — the pending-commit property.
+type Greedy struct {
+	stm.NopManager
+	// WaitSpan is the polling interval while waiting on an older enemy.
+	WaitSpan time.Duration
+}
+
+// NewGreedy returns a Greedy manager with the default polling interval.
+func NewGreedy() *Greedy { return &Greedy{WaitSpan: baseWait} }
+
+// Resolve implements stm.ContentionManager.
+func (g *Greedy) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if older(tx, enemy) || enemy.D.Waiting.Load() {
+		return stm.AbortEnemy, 0
+	}
+	return stm.Wait, g.WaitSpan
+}
+
+// Priority is the static priority manager from Scherer & Scott: the
+// priority of a transaction is its start time; lower-priority (younger)
+// transactions are aborted on conflict, and a lower-priority attacker
+// polls until the older enemy finishes (it can neither abort the enemy
+// nor usefully restart — its priority would not change). The timestamp
+// order is total, so waits cannot be mutual.
+type Priority struct {
+	stm.NopManager
+	// WaitSpan is the polling interval while stalled behind an older
+	// transaction.
+	WaitSpan time.Duration
+}
+
+// NewPriority returns a Priority manager with the default poll interval.
+func NewPriority() *Priority { return &Priority{WaitSpan: baseWait} }
+
+// Resolve implements stm.ContentionManager.
+func (p *Priority) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if older(tx, enemy) {
+		return stm.AbortEnemy, 0
+	}
+	return stm.Wait, p.WaitSpan
+}
+
+// Timestamp is Scherer & Scott's timestamp manager: like Priority but the
+// younger transaction first grants the older one a bounded series of waits,
+// aborting the enemy only if it seems stalled past those rounds.
+type Timestamp struct {
+	stm.NopManager
+	// Rounds is the number of waiting rounds granted to an older enemy.
+	Rounds int
+}
+
+// NewTimestamp returns a Timestamp manager with the classic round count.
+func NewTimestamp() *Timestamp { return &Timestamp{Rounds: 8} }
+
+// Resolve implements stm.ContentionManager.
+func (t *Timestamp) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if older(tx, enemy) {
+		return stm.AbortEnemy, 0
+	}
+	if attempt > t.Rounds {
+		return stm.AbortEnemy, 0
+	}
+	return stm.Wait, backoffSpan(attempt)
+}
+
+// older reports whether tx's logical transaction started strictly before
+// enemy's, breaking timestamp ties by the unique transaction ID so the
+// order is total (required for progress).
+func older(tx, enemy *stm.Tx) bool {
+	if tx.D.Birth != enemy.D.Birth {
+		return tx.D.Birth < enemy.D.Birth
+	}
+	return tx.D.ID < enemy.D.ID
+}

@@ -1,0 +1,18 @@
+package conflictgraph_test
+
+import (
+	"fmt"
+
+	"wincm/internal/conflictgraph"
+)
+
+// Example reduces a schedule to a coloring: color classes commit together.
+func Example() {
+	g := conflictgraph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	colors := g.GreedyColor()
+	fmt.Println(g.ValidColoring(colors), conflictgraph.NumColors(colors))
+	// Output: true 2
+}

@@ -1,0 +1,171 @@
+// Package conflictgraph provides the conflict-graph machinery of the
+// paper's analysis: transactions are nodes, conflicts are edges, and a
+// greedy schedule corresponds to a vertex coloring (Section II-A). The
+// simulator uses it both to generate bounded-degree workloads and to
+// resolve conflicts in the Offline algorithm.
+package conflictgraph
+
+import (
+	"fmt"
+
+	"wincm/internal/rng"
+)
+
+// Graph is a simple undirected graph on nodes 0..N-1.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns an edgeless graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge connects u and v. Self-loops and duplicates are rejected.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("conflictgraph: self-loop on %d", u)
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return fmt.Errorf("conflictgraph: edge (%d,%d) out of range", u, v)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("conflictgraph: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether u and v are connected.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns u's adjacency list (not a copy; do not modify).
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of edges at u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree — the paper's contention measure C.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	sum := 0
+	for u := range g.adj {
+		sum += len(g.adj[u])
+	}
+	return sum / 2
+}
+
+// GreedyColor colors the nodes greedily in index order and returns the
+// color of each node; at most MaxDegree+1 colors are used. A color class
+// is an independent set, i.e. a set of transactions that can commit
+// simultaneously (the coloring reduction of Section II-A).
+func (g *Graph) GreedyColor() []int {
+	colors := make([]int, len(g.adj))
+	for i := range colors {
+		colors[i] = -1
+	}
+	taken := make([]bool, g.MaxDegree()+2)
+	for u := range g.adj {
+		for i := range taken {
+			taken[i] = false
+		}
+		for _, v := range g.adj[u] {
+			if c := colors[v]; c >= 0 && c < len(taken) {
+				taken[c] = true
+			}
+		}
+		for c := range taken {
+			if !taken[c] {
+				colors[u] = c
+				break
+			}
+		}
+	}
+	return colors
+}
+
+// ValidColoring reports whether colors assigns different colors to every
+// pair of adjacent nodes.
+func (g *Graph) ValidColoring(colors []int) bool {
+	if len(colors) != len(g.adj) {
+		return false
+	}
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumColors returns the number of distinct colors in the assignment.
+func NumColors(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// RandomWindow generates a conflict graph for an M×N execution window
+// (node i·N+j is thread i's j-th transaction) with maximum degree ≤ maxDeg.
+// colBias is the probability that a generated edge stays inside one column
+// (same j, different threads) — the paper's motivating scenario has
+// conflicts "more frequent inside the same column and less frequent
+// between different columns".
+func RandomWindow(m, n, maxDeg int, colBias float64, r *rng.Rand) *Graph {
+	g := New(m * n)
+	if m < 2 || maxDeg < 1 {
+		return g
+	}
+	target := m * n * maxDeg / 2
+	attempts := 20 * target
+	for e := 0; e < target && attempts > 0; attempts-- {
+		var u, v int
+		if r.Float64() < colBias {
+			j := r.Intn(n)
+			i1 := r.Intn(m)
+			i2 := r.Intn(m)
+			if i1 == i2 {
+				continue
+			}
+			u, v = i1*n+j, i2*n+j
+		} else {
+			u, v = r.Intn(m*n), r.Intn(m*n)
+			if u == v {
+				continue
+			}
+		}
+		if g.Degree(u) >= maxDeg || g.Degree(v) >= maxDeg || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			continue
+		}
+		e++
+	}
+	return g
+}

@@ -1,0 +1,154 @@
+package conflictgraph_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/conflictgraph"
+	"wincm/internal/rng"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := conflictgraph.New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+}
+
+func TestDegreeAndMaxDegree(t *testing.T) {
+	g := conflictgraph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Errorf("degrees: %d, %d", g.Degree(0), g.Degree(1))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGreedyColorPath(t *testing.T) {
+	// A path is 2-colorable greedily in index order.
+	g := conflictgraph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	colors := g.GreedyColor()
+	if !g.ValidColoring(colors) {
+		t.Fatal("invalid coloring")
+	}
+	if n := conflictgraph.NumColors(colors); n != 2 {
+		t.Errorf("path used %d colors", n)
+	}
+}
+
+func TestGreedyColorComplete(t *testing.T) {
+	const n = 6
+	g := conflictgraph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	colors := g.GreedyColor()
+	if !g.ValidColoring(colors) {
+		t.Fatal("invalid coloring")
+	}
+	if got := conflictgraph.NumColors(colors); got != n {
+		t.Errorf("K%d colored with %d colors", n, got)
+	}
+}
+
+func TestValidColoringRejects(t *testing.T) {
+	g := conflictgraph.New(2)
+	g.AddEdge(0, 1)
+	if g.ValidColoring([]int{0, 0}) {
+		t.Error("monochromatic edge accepted")
+	}
+	if g.ValidColoring([]int{0}) {
+		t.Error("wrong-length assignment accepted")
+	}
+	if !g.ValidColoring([]int{0, 1}) {
+		t.Error("proper coloring rejected")
+	}
+}
+
+// TestQuickGreedyColoring: greedy coloring is always valid and uses at
+// most MaxDegree+1 colors on random bounded-degree window graphs.
+func TestQuickGreedyColoring(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw, cRaw uint8) bool {
+		m := 2 + int(mRaw)%8
+		n := 1 + int(nRaw)%8
+		c := 1 + int(cRaw)%6
+		g := conflictgraph.RandomWindow(m, n, c, 0.5, rng.New(seed))
+		colors := g.GreedyColor()
+		return g.ValidColoring(colors) &&
+			conflictgraph.NumColors(colors) <= g.MaxDegree()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomWindowRespectsDegreeBound: generated graphs never exceed the
+// requested maximum degree.
+func TestRandomWindowRespectsDegreeBound(t *testing.T) {
+	f := func(seed uint64, cRaw uint8) bool {
+		c := 1 + int(cRaw)%10
+		g := conflictgraph.RandomWindow(8, 10, c, 0.8, rng.New(seed))
+		return g.MaxDegree() <= c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomWindowColumnBias(t *testing.T) {
+	// With colBias 1 every edge stays inside a column (same j).
+	const m, n = 8, 6
+	g := conflictgraph.RandomWindow(m, n, 4, 1.0, rng.New(5))
+	if g.Edges() == 0 {
+		t.Fatal("no edges generated")
+	}
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u%n != v%n {
+				t.Fatalf("edge (%d,%d) crosses columns", u, v)
+			}
+		}
+	}
+}
+
+func TestRandomWindowDegenerate(t *testing.T) {
+	if g := conflictgraph.RandomWindow(1, 5, 3, 0.5, rng.New(1)); g.Edges() != 0 {
+		t.Error("single-thread window has edges")
+	}
+	if g := conflictgraph.RandomWindow(4, 5, 0, 0.5, rng.New(1)); g.Edges() != 0 {
+		t.Error("zero-degree window has edges")
+	}
+}

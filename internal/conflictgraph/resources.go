@@ -1,0 +1,98 @@
+package conflictgraph
+
+import "wincm/internal/rng"
+
+// ResourceWorkload models transactions through the resources they access,
+// the view the paper's competitive-ratio theorems take: s shared resources
+// R_1…R_s, each transaction reading and writing a subset, two transactions
+// conflicting iff one writes a resource the other uses (Section II-A).
+type ResourceWorkload struct {
+	// S is the number of shared resources.
+	S int
+	// Writes[t] and Reads[t] are the resource sets of transaction t.
+	Writes, Reads [][]int
+}
+
+// NewResourceWorkload draws, for each of m·n transactions, up to kw write
+// resources and kr read resources uniformly from [0, s).
+func NewResourceWorkload(m, n, s, kw, kr int, r *rng.Rand) *ResourceWorkload {
+	if s < 1 {
+		s = 1
+	}
+	total := m * n
+	w := &ResourceWorkload{
+		S:      s,
+		Writes: make([][]int, total),
+		Reads:  make([][]int, total),
+	}
+	pick := func(k int) []int {
+		if k > s {
+			k = s
+		}
+		seen := map[int]bool{}
+		out := make([]int, 0, k)
+		for len(out) < k {
+			res := r.Intn(s)
+			if !seen[res] {
+				seen[res] = true
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+	for t := 0; t < total; t++ {
+		w.Writes[t] = pick(1 + r.Intn(kw))
+		if kr > 0 {
+			w.Reads[t] = pick(r.Intn(kr + 1))
+		}
+	}
+	return w
+}
+
+// Graph derives the conflict graph: transactions conflict iff one writes
+// a resource the other reads or writes.
+func (w *ResourceWorkload) Graph() *Graph {
+	g := New(len(w.Writes))
+	writers := make(map[int][]int) // resource → writers
+	users := make(map[int][]int)   // resource → all users
+	for t := range w.Writes {
+		for _, res := range w.Writes[t] {
+			writers[res] = append(writers[res], t)
+			users[res] = append(users[res], t)
+		}
+		for _, res := range w.Reads[t] {
+			users[res] = append(users[res], t)
+		}
+	}
+	for res, ws := range writers {
+		for _, a := range ws {
+			for _, b := range users[res] {
+				if a != b && !g.HasEdge(a, b) {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// OptimalLowerBound returns a lower bound on any schedule's makespan in
+// τ-steps for an M×N window over this workload: at least N (each thread's
+// transactions are sequential), and at least the peak resource write-load
+// (transactions writing one resource serialize).
+func (w *ResourceWorkload) OptimalLowerBound(n int) int {
+	load := map[int]int{}
+	peak := 0
+	for t := range w.Writes {
+		for _, res := range w.Writes[t] {
+			load[res]++
+			if load[res] > peak {
+				peak = load[res]
+			}
+		}
+	}
+	if n > peak {
+		return n
+	}
+	return peak
+}

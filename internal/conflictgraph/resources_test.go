@@ -1,0 +1,100 @@
+package conflictgraph_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/conflictgraph"
+	"wincm/internal/rng"
+)
+
+func TestResourceWorkloadShape(t *testing.T) {
+	w := conflictgraph.NewResourceWorkload(4, 3, 16, 2, 4, rng.New(1))
+	if len(w.Writes) != 12 || len(w.Reads) != 12 {
+		t.Fatalf("sets sized %d/%d, want 12", len(w.Writes), len(w.Reads))
+	}
+	for t2, ws := range w.Writes {
+		if len(ws) < 1 || len(ws) > 2 {
+			t.Fatalf("tx %d writes %d resources", t2, len(ws))
+		}
+		for _, r := range ws {
+			if r < 0 || r >= 16 {
+				t.Fatalf("resource %d out of range", r)
+			}
+		}
+		if len(w.Reads[t2]) > 4 {
+			t.Fatalf("tx %d reads %d resources", t2, len(w.Reads[t2]))
+		}
+	}
+}
+
+// TestResourceGraphEdgesExact: the derived graph has an edge iff the two
+// transactions share a resource at least one writes.
+func TestResourceGraphEdgesExact(t *testing.T) {
+	f := func(seed uint64, sRaw uint8) bool {
+		s := 1 + int(sRaw)%32
+		w := conflictgraph.NewResourceWorkload(4, 2, s, 2, 3, rng.New(seed))
+		g := w.Graph()
+		uses := func(t int, res int) (writes, reads bool) {
+			for _, r := range w.Writes[t] {
+				if r == res {
+					writes = true
+				}
+			}
+			for _, r := range w.Reads[t] {
+				if r == res {
+					reads = true
+				}
+			}
+			return
+		}
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				conflict := false
+				for res := 0; res < s; res++ {
+					aw, ar := uses(a, res)
+					bw, br := uses(b, res)
+					if (aw && (bw || br)) || (bw && (aw || ar)) {
+						conflict = true
+					}
+				}
+				if g.HasEdge(a, b) != conflict {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalLowerBound(t *testing.T) {
+	w := &conflictgraph.ResourceWorkload{
+		S:      2,
+		Writes: [][]int{{0}, {0}, {0}, {1}},
+		Reads:  [][]int{nil, nil, nil, nil},
+	}
+	// Resource 0 has write-load 3 > N = 2.
+	if got := w.OptimalLowerBound(2); got != 3 {
+		t.Errorf("lower bound = %d, want 3", got)
+	}
+	// N dominates when load is low.
+	if got := w.OptimalLowerBound(10); got != 10 {
+		t.Errorf("lower bound = %d, want 10", got)
+	}
+}
+
+func TestSingleResourceSerializes(t *testing.T) {
+	// With one resource everything conflicts: the graph is complete.
+	w := conflictgraph.NewResourceWorkload(3, 2, 1, 1, 0, rng.New(4))
+	g := w.Graph()
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			if !g.HasEdge(a, b) {
+				t.Fatalf("missing edge (%d,%d) on single resource", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// BenchmarkFrameClockCurrent measures the hot-path frame read (taken on
+// every conflict resolution).
+func BenchmarkFrameClockCurrent(b *testing.B) {
+	c := newFrameClock(false, time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Current()
+	}
+}
+
+// BenchmarkFrameClockCommit measures the dynamic-mode commit bookkeeping.
+func BenchmarkFrameClockCommit(b *testing.B) {
+	c := newFrameClock(true, time.Hour)
+	for i := 0; i < b.N; i++ {
+		c.register(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.commitAt(int64(i))
+	}
+}
+
+// BenchmarkResolve measures one priority-vector conflict decision.
+func BenchmarkResolve(b *testing.B) {
+	m := NewManager(DefaultConfig(OnlineDynamic, 4))
+	rt := stm.New(2, m)
+	var a, e *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { a = tx })
+	rt.Thread(1).Atomic(func(tx *stm.Tx) { e = tx })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Resolve(a, e, stm.WriteWrite, 1)
+	}
+}
+
+// BenchmarkScheduleNext measures per-transaction window bookkeeping
+// (Begin of a fresh transaction, including segment turnover).
+func BenchmarkScheduleNext(b *testing.B) {
+	cfg := DefaultConfig(OnlineDynamic, 1)
+	cfg.N = 50
+	m := NewManager(cfg)
+	st := m.threads[0]
+	d := &stm.Desc{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Seq = i
+		m.scheduleNext(st, d)
+	}
+}

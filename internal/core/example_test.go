@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"wincm/internal/core"
+	"wincm/internal/stm"
+)
+
+// Example builds the paper's best-performing window manager and runs a
+// transaction under it.
+func Example() {
+	const threads = 4
+	mgr := core.New(core.OnlineDynamic, threads)
+	rt := stm.New(threads, mgr)
+	v := stm.NewTVar(0)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+1)
+	})
+	fmt.Println(mgr.Config().Dynamic, v.Peek())
+	// Output: true 1
+}
+
+// ExampleNewManager configures a window manager explicitly: an Online
+// variant that knows the contention measure and uses windows of 20.
+func ExampleNewManager() {
+	cfg := core.DefaultConfig(core.Online, 8)
+	cfg.N = 20
+	cfg.InitialC = 16
+	mgr := core.NewManager(cfg)
+	fmt.Println(mgr.Config().N, mgr.Config().InitialC)
+	// Output: 20 16
+}
+
+// ExampleParseVariant resolves harness/CLI names.
+func ExampleParseVariant() {
+	v, err := core.ParseVariant("adaptive-improved-dynamic")
+	fmt.Println(v, err)
+	// Output: adaptive-improved-dynamic <nil>
+}

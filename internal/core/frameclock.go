@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expandFactor bounds frame expansion in dynamic mode: a frame whose
+// transactions have not all committed ends anyway after expandFactor frame
+// durations ("the basic expansion of the frame can be obtained by adding an
+// extra frame" — one extra frame, hence 2).
+const expandFactor = 2
+
+// minFrameDur keeps the calibrated frame duration from collapsing to zero
+// before the first commit provides a τ̂ sample.
+const minFrameDur = time.Microsecond
+
+// frameClock is the shared frame counter of a window manager.
+//
+// Static mode: the current frame advances purely with time, every frame
+// duration (Θ(ln MN) transaction-lengths, auto-calibrated).
+//
+// Dynamic mode: threads register the frames of their scheduled transactions
+// (pending counts). The current frame advances as soon as its pending count
+// drops to zero — contraction — skipping over registered-empty frames, and
+// is forced forward after expandFactor durations — bounded expansion.
+type frameClock struct {
+	dynamic bool
+	epoch   time.Time
+	dur     atomic.Int64 // frame duration, ns
+	cur     atomic.Int64 // current frame index
+	started atomic.Int64 // ns when the current frame started
+
+	mu      sync.Mutex
+	pending map[int64]int64 // frame → not-yet-committed registered txs
+	maxReg  int64           // highest frame with a registration ever
+}
+
+func newFrameClock(dynamic bool, dur time.Duration) *frameClock {
+	c := &frameClock{
+		dynamic: dynamic,
+		epoch:   time.Now(),
+		pending: make(map[int64]int64),
+	}
+	c.setDur(dur)
+	return c
+}
+
+// now returns ns since the clock epoch on the monotonic clock.
+func (c *frameClock) now() int64 { return int64(time.Since(c.epoch)) }
+
+// setDur updates the frame duration (called as τ̂ is recalibrated).
+func (c *frameClock) setDur(d time.Duration) {
+	if d < minFrameDur {
+		d = minFrameDur
+	}
+	c.dur.Store(int64(d))
+}
+
+// deadline returns the time-driven end of the current frame.
+func (c *frameClock) deadline() int64 {
+	d := c.dur.Load()
+	if c.dynamic {
+		d *= expandFactor
+	}
+	return c.started.Load() + d
+}
+
+// Current returns the current frame index, advancing the clock first if
+// the current frame's time allowance has run out.
+func (c *frameClock) Current() int64 {
+	if c.now() < c.deadline() {
+		return c.cur.Load()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceByTimeLocked()
+	return c.cur.Load()
+}
+
+// advanceByTimeLocked catches the frame counter up with elapsed time: one
+// frame per allowance, computed in one step so an idle clock costs O(1).
+func (c *frameClock) advanceByTimeLocked() {
+	d := c.dur.Load()
+	if c.dynamic {
+		d *= expandFactor
+	}
+	start := c.started.Load()
+	elapsed := c.now() - start
+	if elapsed < d {
+		return
+	}
+	steps := elapsed / d
+	c.cur.Store(c.cur.Load() + steps)
+	c.started.Store(start + steps*d)
+	if c.dynamic {
+		c.skipEmptyLocked()
+	}
+}
+
+// stepLocked advances to the next frame after a contraction event and, in
+// dynamic mode, keeps contracting over frames that have nothing to run.
+func (c *frameClock) stepLocked() {
+	c.cur.Store(c.cur.Load() + 1)
+	c.started.Store(c.now())
+	if c.dynamic {
+		c.skipEmptyLocked()
+	}
+}
+
+// skipEmptyLocked contracts the current frame past registered-empty frames,
+// but never beyond the last registered frame (there is nothing to run up
+// ahead, so the clock idles there instead of spinning forward).
+func (c *frameClock) skipEmptyLocked() {
+	cur := c.cur.Load()
+	for cur < c.maxReg && c.pending[cur] == 0 {
+		cur++
+	}
+	if cur != c.cur.Load() {
+		c.cur.Store(cur)
+		c.started.Store(c.now())
+	}
+}
+
+// register adds one scheduled transaction to frame f (dynamic bookkeeping;
+// a no-op in static mode to keep the hot path lock-free).
+func (c *frameClock) register(f int64) {
+	if !c.dynamic {
+		return
+	}
+	c.mu.Lock()
+	c.pending[f]++
+	if f > c.maxReg {
+		c.maxReg = f
+	}
+	c.mu.Unlock()
+}
+
+// unregister removes a scheduled transaction from frame f without running
+// it (adaptive re-randomization moves schedules around). It may trigger a
+// contraction if f is the current frame.
+func (c *frameClock) unregister(f int64) {
+	if !c.dynamic {
+		return
+	}
+	c.mu.Lock()
+	c.decLocked(f)
+	c.mu.Unlock()
+}
+
+// commitAt records that a transaction assigned to frame f committed,
+// contracting the current frame if that was the last one.
+func (c *frameClock) commitAt(f int64) {
+	if !c.dynamic {
+		return
+	}
+	c.mu.Lock()
+	c.decLocked(f)
+	c.mu.Unlock()
+}
+
+// decLocked decrements pending[f] and contracts if the current frame
+// drained. Callers hold c.mu.
+func (c *frameClock) decLocked(f int64) {
+	if n := c.pending[f]; n > 1 {
+		c.pending[f] = n - 1
+	} else {
+		delete(c.pending, f)
+	}
+	if f == c.cur.Load() && c.pending[f] == 0 {
+		c.stepLocked()
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFrameClockConcurrentAccess hammers one dynamic clock from many
+// goroutines mixing registration, commits and reads; the clock must never
+// go backwards and must end with empty pending state.
+func TestFrameClockConcurrentAccess(t *testing.T) {
+	c := newFrameClock(true, 200*time.Microsecond)
+	const workers, perWorker = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := int64(0)
+			for i := 0; i < perWorker; i++ {
+				f := c.Current()
+				if f < last {
+					t.Errorf("clock went backwards: %d after %d", f, last)
+					return
+				}
+				last = f
+				target := f + int64(i%3)
+				c.register(target)
+				c.commitAt(target)
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for f, n := range c.pending {
+		if n != 0 {
+			t.Errorf("pending[%d] = %d after balanced register/commit", f, n)
+		}
+	}
+}
+
+// TestFrameClockMonotonicUnderContraction: commit-driven advances and
+// time-driven advances interleave without the counter regressing.
+func TestFrameClockMonotonicUnderContraction(t *testing.T) {
+	c := newFrameClock(true, time.Millisecond)
+	last := int64(0)
+	for i := 0; i < 200; i++ {
+		f := c.Current()
+		if f < last {
+			t.Fatalf("regressed: %d after %d", f, last)
+		}
+		last = f
+		c.register(f)
+		c.commitAt(f) // drain current frame → contraction
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+)
+
+// tauGuess seeds the transaction-duration EWMA before the first commit.
+const tauGuess = 2 * time.Microsecond
+
+// Aux packing: the manager stores each transaction's schedule in its
+// Desc.Aux word as (assignedFrame << 16) | π⁽²⁾, so Resolve can compute
+// both sides' priority vectors from atomics without races. π⁽²⁾ ∈ [1, M]
+// fits 16 bits (M ≤ 65535, far beyond any experiment here).
+const p2Bits = 16
+
+func packAux(frame int64, p2 uint64) uint64 {
+	return uint64(frame)<<p2Bits | (p2 & (1<<p2Bits - 1))
+}
+
+func auxFrame(aux uint64) int64 { return int64(aux >> p2Bits) }
+func auxP2(aux uint64) uint64   { return aux & (1<<p2Bits - 1) }
+
+// threadState is the per-thread window bookkeeping. Only the owning thread
+// touches it (Begin/Committed/Aborted run on the transaction's thread), so
+// no synchronization is needed.
+type threadState struct {
+	rng *rng.Rand
+	est estimator
+
+	inWindow   bool    // a window segment is in progress
+	startSeq   int     // Seq of the segment's first transaction
+	remaining  int     // transactions left in the segment (≤ N)
+	baseFrame  int64   // clock frame when the segment started
+	q          int64   // the segment's random initial delay, in frames
+	assigned   int64   // absolute assigned frame of the current transaction
+	registered []int64 // frames registered with the clock, for unregistering
+	badEvents  int     // diagnostics: bad events seen by this thread
+}
+
+// Manager is the window-based contention manager. It implements
+// stm.ContentionManager for every STM-runnable variant; the Config decides
+// which member of the family it behaves as.
+type Manager struct {
+	cfg      Config
+	patience int
+	clock    *frameClock
+	threads  []*threadState
+	tauNs    atomic.Int64 // EWMA of committed-attempt durations
+	commits  atomic.Int64
+	bads     atomic.Int64 // total bad events (transactions missing frames)
+}
+
+var _ stm.ContentionManager = (*Manager)(nil)
+
+// NewManager builds a manager from an explicit configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.M <= 0 || cfg.N <= 0 {
+		panic("core: Config needs M ≥ 1 and N ≥ 1")
+	}
+	if cfg.FrameScale <= 0 {
+		cfg.FrameScale = 1
+	}
+	if cfg.InitialC <= 0 {
+		cfg.InitialC = 1
+	}
+	m := &Manager{
+		cfg:   cfg,
+		clock: newFrameClock(cfg.Dynamic, tauGuess), // recalibrated below
+	}
+	switch {
+	case cfg.LoserPatience > 0:
+		m.patience = cfg.LoserPatience
+	case cfg.LoserPatience == 0:
+		m.patience = defaultLoserPatience
+	}
+	m.tauNs.Store(int64(tauGuess))
+	m.clock.setDur(m.frameDur())
+	master := rng.New(cfg.Seed)
+	m.threads = make([]*threadState, cfg.M)
+	for i := range m.threads {
+		m.threads[i] = &threadState{
+			rng: master.Split(),
+			est: newEstimator(cfg.Estimator, float64(cfg.InitialC)),
+		}
+	}
+	return m
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// CurrentFrame exposes the frame clock (tests, diagnostics).
+func (m *Manager) CurrentFrame() int64 { return m.clock.Current() }
+
+// EstimateC returns thread i's current contention estimate C_i.
+func (m *Manager) EstimateC(i int) float64 { return m.threads[i].est.value() }
+
+// BadEvents returns the total number of bad events observed so far.
+func (m *Manager) BadEvents() int64 { return m.bads.Load() }
+
+// frameDur derives the frame duration Φ = scale·τ̂·ln(MN) from the current
+// transaction-duration estimate.
+func (m *Manager) frameDur() time.Duration {
+	tau := float64(m.tauNs.Load())
+	return time.Duration(m.cfg.FrameScale * tau * lnMN(m.cfg.M, m.cfg.N))
+}
+
+// Begin implements stm.ContentionManager. On a transaction's first attempt
+// it advances the thread's window schedule (possibly opening a new window
+// segment) and assigns the frame and initial priority vector.
+func (m *Manager) Begin(tx *stm.Tx) {
+	st := m.threads[tx.D.ThreadID]
+	if tx.D.Attempts == 1 {
+		m.scheduleNext(st, tx.D)
+	}
+	if m.cfg.HoldUntilFrame {
+		m.holdUntilFrame(tx)
+	}
+}
+
+// scheduleNext assigns the next transaction of thread state st to a frame.
+func (m *Manager) scheduleNext(st *threadState, d *stm.Desc) {
+	if !st.inWindow || st.remaining == 0 {
+		m.openSegment(st, d.Seq, m.cfg.N)
+	}
+	j := int64(d.Seq - st.startSeq)
+	st.assigned = st.baseFrame + st.q + j
+	st.remaining--
+	d.Aux.Store(packAux(st.assigned, m.drawP2(st)))
+}
+
+// openSegment starts a fresh window segment of n transactions at seq:
+// draws the random delay from the current estimate and registers the
+// schedule with the frame clock.
+func (m *Manager) openSegment(st *threadState, seq, n int) {
+	// Drop any leftover registrations from an abandoned segment.
+	for _, f := range st.registered {
+		m.clock.unregister(f)
+	}
+	st.registered = st.registered[:0]
+	st.inWindow = true
+	st.startSeq = seq
+	st.remaining = n
+	st.baseFrame = m.clock.Current()
+	if m.cfg.ZeroDelay {
+		st.q = 0
+	} else {
+		st.q = int64(st.rng.Intn(int(alpha(st.est.value(), m.cfg.M, m.cfg.N))))
+	}
+	for j := int64(0); j < int64(n); j++ {
+		f := st.baseFrame + st.q + j
+		m.clock.register(f)
+		st.registered = append(st.registered, f)
+	}
+}
+
+// drawP2 draws a RandomizedRounds priority uniformly from [1, M].
+func (m *Manager) drawP2(st *threadState) uint64 {
+	n := m.cfg.M
+	if n > 1<<p2Bits-1 {
+		n = 1<<p2Bits - 1
+	}
+	return uint64(1 + st.rng.Intn(n))
+}
+
+// holdUntilFrame blocks (cooperatively) until the transaction's assigned
+// frame has started. Ablation only; the published algorithm does not hold.
+func (m *Manager) holdUntilFrame(tx *stm.Tx) {
+	for m.clock.Current() < auxFrame(tx.D.Aux.Load()) {
+		if tx.Status() != stm.Active {
+			return
+		}
+		time.Sleep(time.Duration(m.clock.dur.Load()) / 8)
+	}
+}
+
+// Committed implements stm.ContentionManager: recalibrate τ̂, retire the
+// transaction from its frame, detect bad events, and let the estimator and
+// window bookkeeping advance.
+func (m *Manager) Committed(tx *stm.Tx) {
+	st := m.threads[tx.D.ThreadID]
+	d := tx.D
+
+	// τ̂ ← 7/8·τ̂ + 1/8·attempt duration, then recalibrate the frame size.
+	attempt := stm.Now() - d.AttemptStart
+	if attempt > 0 {
+		old := m.tauNs.Load()
+		m.tauNs.Store(old - old/8 + attempt/8)
+		m.clock.setDur(m.frameDur())
+	}
+
+	cur := m.clock.Current()
+	bad := cur > st.assigned
+	m.clock.commitAt(st.assigned)
+	dropRegistered(st, st.assigned)
+
+	m.commits.Add(1)
+	st.est.sample(false)
+	if bad {
+		st.badEvents++
+		m.bads.Add(1)
+		if st.est.onBadEvent() && st.remaining > 0 {
+			// Start over with the remaining transactions under the new
+			// estimate (the paper's adaptive restart).
+			m.openSegment(st, d.Seq+1, st.remaining)
+		}
+	}
+	if st.remaining == 0 {
+		st.inWindow = false
+		st.est.onWindowEnd(st.badEvents > 0)
+		st.badEvents = 0
+	}
+}
+
+// Aborted implements stm.ContentionManager: redraw π⁽²⁾ (unless the
+// ablation disables it) and feed the contention sample to the estimator.
+func (m *Manager) Aborted(tx *stm.Tx) {
+	st := m.threads[tx.D.ThreadID]
+	st.est.sample(true)
+	if !m.cfg.NoRedraw {
+		aux := tx.D.Aux.Load()
+		tx.D.Aux.Store(packAux(auxFrame(aux), m.drawP2(st)))
+	}
+}
+
+// Opened implements stm.ContentionManager (window managers do not use
+// open-based priorities).
+func (m *Manager) Opened(*stm.Tx) {}
+
+// Resolve implements stm.ContentionManager: compare the two priority
+// vectors (π⁽¹⁾, π⁽²⁾) lexicographically; lower order wins and aborts the
+// other. A final ID comparison makes the order total so some side always
+// makes progress. The loser is granted LoserPatience short waiting rounds
+// (re-resolving with fresh priorities each time, so a frame switch or a
+// π⁽²⁾ redraw can still flip the outcome) before aborting itself.
+func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	cur := m.clock.Current()
+	mine := m.prio(cur, tx.D)
+	theirs := m.prio(cur, enemy.D)
+	if mine < theirs || (mine == theirs && tx.D.ID < enemy.D.ID) {
+		return stm.AbortEnemy, 0
+	}
+	if attempt <= m.patience {
+		// Exponentially growing grace spans, like Polite's backoff,
+		// capped at ~4ms so patience stays responsive.
+		exp := attempt - 1
+		if exp > 10 {
+			exp = 10
+		}
+		return stm.Wait, (4 * time.Microsecond) << uint(exp)
+	}
+	return stm.AbortSelf, 0
+}
+
+// prio computes the packed priority vector of d at frame cur: the high bit
+// block is π⁽¹⁾ (0 once the assigned frame has started, 1 before), the low
+// bits are π⁽²⁾. Smaller value ⇒ higher priority.
+func (m *Manager) prio(cur int64, d *stm.Desc) uint64 {
+	aux := d.Aux.Load()
+	p := auxP2(aux)
+	if cur < auxFrame(aux) {
+		p |= 1 << 32 // low priority
+	}
+	return p
+}
+
+// dropRegistered removes one occurrence of frame f from st.registered so a
+// later openSegment does not double-unregister it.
+func dropRegistered(st *threadState, f int64) {
+	for i, g := range st.registered {
+		if g == f {
+			st.registered[i] = st.registered[len(st.registered)-1]
+			st.registered = st.registered[:len(st.registered)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"wincm/internal/stm"
+)
+
+// TestScheduleNextWalksWindow: consecutive transactions of one thread get
+// consecutive assigned frames within a segment, and a new segment starts
+// after N transactions.
+func TestScheduleNextWalksWindow(t *testing.T) {
+	cfg := DefaultConfig(Online, 2)
+	cfg.N = 4
+	cfg.ZeroDelay = true
+	m := NewManager(cfg)
+	st := m.threads[0]
+	d := &stm.Desc{ThreadID: 0}
+
+	var frames []int64
+	for seq := 0; seq < 8; seq++ {
+		d.Seq = seq
+		m.scheduleNext(st, d)
+		frames = append(frames, st.assigned)
+		if got := auxFrame(d.Aux.Load()); got != st.assigned {
+			t.Fatalf("seq %d: Aux frame %d != assigned %d", seq, got, st.assigned)
+		}
+		if p2 := auxP2(d.Aux.Load()); p2 < 1 || p2 > 2 {
+			t.Fatalf("seq %d: π2 = %d out of [1,2]", seq, p2)
+		}
+	}
+	// Within each window of 4, frames are consecutive (ZeroDelay ⇒ q=0).
+	for w := 0; w < 2; w++ {
+		base := frames[w*4]
+		for j := 0; j < 4; j++ {
+			if frames[w*4+j] != base+int64(j) {
+				t.Fatalf("window %d: frames %v not consecutive", w, frames)
+			}
+		}
+	}
+}
+
+// TestRandomDelayWithinAlpha: drawn delays always fall inside [0, α−1].
+func TestRandomDelayWithinAlpha(t *testing.T) {
+	cfg := DefaultConfig(Online, 8)
+	cfg.N = 16
+	cfg.InitialC = 64
+	m := NewManager(cfg)
+	a := alpha(64, 8, 16)
+	for trial := 0; trial < 200; trial++ {
+		st := m.threads[trial%8]
+		m.openSegment(st, trial*16, 16)
+		if st.q < 0 || st.q >= a {
+			t.Fatalf("q = %d outside [0, %d)", st.q, a)
+		}
+	}
+}
+
+// TestOpenSegmentReRegisters: restarting a segment moves the clock
+// registrations (no leaks, no double counting).
+func TestOpenSegmentReRegisters(t *testing.T) {
+	cfg := DefaultConfig(OnlineDynamic, 1)
+	cfg.N = 5
+	m := NewManager(cfg)
+	st := m.threads[0]
+	m.openSegment(st, 0, 5)
+	if len(st.registered) != 5 {
+		t.Fatalf("registered %d frames, want 5", len(st.registered))
+	}
+	first := append([]int64(nil), st.registered...)
+	m.openSegment(st, 2, 3) // adaptive restart with 3 remaining
+	if len(st.registered) != 3 {
+		t.Fatalf("after restart: registered %d frames, want 3", len(st.registered))
+	}
+	// The clock must hold exactly the new frames: draining them advances
+	// past everything (no stale pending from the first registration).
+	total := int64(0)
+	m.clock.mu.Lock()
+	for _, n := range m.clock.pending {
+		total += n
+	}
+	m.clock.mu.Unlock()
+	if total != 3 {
+		t.Fatalf("clock holds %d pending registrations, want 3 (first=%v now=%v)",
+			total, first, st.registered)
+	}
+}
+
+// TestDropRegistered removes exactly one occurrence.
+func TestDropRegistered(t *testing.T) {
+	st := &threadState{registered: []int64{3, 5, 3}}
+	dropRegistered(st, 3)
+	if len(st.registered) != 2 {
+		t.Fatalf("registered = %v", st.registered)
+	}
+	dropRegistered(st, 99) // absent: no-op
+	if len(st.registered) != 2 {
+		t.Fatalf("registered = %v after absent drop", st.registered)
+	}
+}
+
+// TestPrioOrdering: high priority always beats low; among equals π2
+// decides; the packed representation preserves that order.
+func TestPrioOrdering(t *testing.T) {
+	m := NewManager(DefaultConfig(Online, 4))
+	mk := func(frame int64, p2 uint64) *stm.Desc {
+		d := &stm.Desc{}
+		d.Aux.Store(packAux(frame, p2))
+		return d
+	}
+	cur := int64(10)
+	high := mk(5, 3)   // frame passed ⇒ high
+	low := mk(20, 1)   // frame ahead ⇒ low, even with smaller π2
+	high2 := mk(10, 2) // exactly at frame boundary ⇒ high
+	if m.prio(cur, high) >= m.prio(cur, low) {
+		t.Error("high priority did not beat low")
+	}
+	if m.prio(cur, high2) >= m.prio(cur, high) {
+		t.Error("π2 2 did not beat π2 3 among high")
+	}
+	if m.prio(cur, low)>>32 == 0 {
+		t.Error("low priority bit not set")
+	}
+}
+
+// TestAbortedRedrawsP2 and honors NoRedraw.
+func TestAbortedRedrawsP2(t *testing.T) {
+	cfg := DefaultConfig(Online, 1<<14) // wide π2 range
+	m := NewManager(cfg)
+	rt := stm.New(1, m)
+	var captured *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { captured = tx })
+	before := auxP2(captured.D.Aux.Load())
+	frame := auxFrame(captured.D.Aux.Load())
+	changed := false
+	for i := 0; i < 16 && !changed; i++ {
+		m.Aborted(captured)
+		changed = auxP2(captured.D.Aux.Load()) != before
+	}
+	if !changed {
+		t.Error("π2 never redrawn across 16 aborts")
+	}
+	if auxFrame(captured.D.Aux.Load()) != frame {
+		t.Error("redraw disturbed the assigned frame")
+	}
+
+	cfg2 := DefaultConfig(Online, 4)
+	cfg2.NoRedraw = true
+	m2 := NewManager(cfg2)
+	rt2 := stm.New(1, m2)
+	rt2.Thread(0).Atomic(func(tx *stm.Tx) { captured = tx })
+	aux := captured.D.Aux.Load()
+	m2.Aborted(captured)
+	if captured.D.Aux.Load() != aux {
+		t.Error("NoRedraw still redrew π2")
+	}
+}
+
+// TestResolveTotalOrder: for any pair, exactly one side wins immediately
+// (the other waits or self-aborts) — no mutual kills, no mutual stalls
+// past patience.
+func TestResolveTotalOrder(t *testing.T) {
+	m := NewManager(DefaultConfig(OnlineDynamic, 4))
+	rt := stm.New(2, m)
+	var a, b *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { a = tx })
+	rt.Thread(1).Atomic(func(tx *stm.Tx) { b = tx })
+	da, _ := m.Resolve(a, b, stm.WriteWrite, m.patience+1)
+	db, _ := m.Resolve(b, a, stm.WriteWrite, m.patience+1)
+	if da == stm.AbortEnemy && db == stm.AbortEnemy {
+		t.Error("both sides abort each other")
+	}
+	if da != stm.AbortEnemy && db != stm.AbortEnemy {
+		t.Error("neither side wins past patience")
+	}
+}
+
+// TestBadEventTriggersRestart: a committed transaction whose frame has
+// passed must double the Adaptive estimate and restart the remaining
+// schedule.
+func TestBadEventTriggersRestart(t *testing.T) {
+	cfg := DefaultConfig(Adaptive, 1)
+	cfg.N = 6
+	m := NewManager(cfg)
+	rt := stm.New(1, m)
+	th := rt.Thread(0)
+
+	// First transaction: force the clock far ahead of the assigned frame
+	// by stepping it manually, then commit.
+	var seen *stm.Tx
+	th.Atomic(func(tx *stm.Tx) {
+		seen = tx
+		m.clock.mu.Lock()
+		for i := 0; i < 10; i++ {
+			m.clock.stepLocked()
+		}
+		m.clock.mu.Unlock()
+	})
+	_ = seen
+	if m.BadEvents() != 1 {
+		t.Fatalf("bad events = %d, want 1", m.BadEvents())
+	}
+	if got := m.EstimateC(0); got != 2 {
+		t.Fatalf("estimate = %v, want 2 (doubled)", got)
+	}
+	// The restart re-registered the remaining 5 transactions.
+	if got := m.threads[0].remaining; got != 5 {
+		t.Fatalf("remaining = %d, want 5", got)
+	}
+}

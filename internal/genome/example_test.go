@@ -1,0 +1,18 @@
+package genome_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/genome"
+	"wincm/internal/stm"
+)
+
+// Example assembles a small gene end to end on four threads.
+func Example() {
+	g := genome.New(genome.Config{GeneLength: 2048, Seed: 1})
+	rt := stm.New(4, cm.NewPolka())
+	unique, err := g.Run(rt)
+	fmt.Println(err == nil, unique > 0)
+	// Output: true true
+}

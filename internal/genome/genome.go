@@ -1,0 +1,295 @@
+// Package genome implements a compact STAMP-style genome-assembly
+// benchmark over the STM — the second additional STAMP workload the
+// paper's conclusion names for future evaluation.
+//
+// Like STAMP genome, the benchmark reconstructs a DNA string from
+// overlapping segments in two concurrent transactional phases:
+//
+//  1. Deduplication: worker threads insert (duplicated, shuffled) segments
+//     into a transactional hash set; exactly one insert per distinct
+//     segment wins.
+//  2. Overlap matching: workers claim successor links — segment A links
+//     to segment B when A's suffix equals B's prefix and B is still
+//     unclaimed; the link and the claim are set in one transaction, so no
+//     segment ever gains two predecessors.
+//
+// A final sequential walk rebuilds the gene and verifies it. STAMP
+// simplifications: segments are cut deterministically at a fixed step (so
+// reconstruction is exact), and matching uses the single construction
+// overlap instead of STAMP's decreasing-length loop — the transactional
+// pattern (hash lookups + atomic claim) is the same.
+package genome
+
+import (
+	"fmt"
+	"strings"
+
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txhash"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	// GeneLength is the length of the hidden gene string.
+	GeneLength int
+	// SegmentLength and Step control the cut: segments start every Step
+	// positions and overlap by SegmentLength−Step characters.
+	SegmentLength, Step int
+	// Duplication repeats every segment this many times in the input
+	// (≥ 1), exercising the dedup phase.
+	Duplication int
+	// Seed drives gene generation and input shuffling.
+	Seed uint64
+}
+
+// withDefaults fills the zero Config with a small but non-trivial input.
+func (c Config) withDefaults() Config {
+	if c.GeneLength <= 0 {
+		c.GeneLength = 4096
+	}
+	if c.SegmentLength <= 0 {
+		c.SegmentLength = 24
+	}
+	if c.Step <= 0 || c.Step >= c.SegmentLength {
+		c.Step = c.SegmentLength / 3
+	}
+	if c.Duplication < 1 {
+		c.Duplication = 3
+	}
+	// Align the gene length to the cut so every segment's successor
+	// starts exactly Step later and the chain reconstructs exactly.
+	c.GeneLength = c.SegmentLength + (c.GeneLength-c.SegmentLength)/c.Step*c.Step
+	return c
+}
+
+// segMeta is the transactional state of one unique segment.
+type segMeta struct {
+	id      int
+	next    *stm.TVar[int]  // successor segment id, −1 when unlinked
+	claimed *stm.TVar[bool] // true once some predecessor linked to us
+}
+
+// Genome is one benchmark instance.
+type Genome struct {
+	cfg   Config
+	gene  string
+	input []string // duplicated + shuffled segments (the workload)
+
+	unique *txhash.Map[*segMeta]
+	metas  []*segMeta
+	segs   []string // id → segment string (filled during dedup)
+	nextID *stm.TVar[int]
+}
+
+// New builds an instance: generates the gene, cuts and duplicates the
+// segments, and shuffles the input.
+func New(cfg Config) *Genome {
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	var sb strings.Builder
+	const bases = "acgt"
+	for i := 0; i < cfg.GeneLength; i++ {
+		sb.WriteByte(bases[r.Intn(4)])
+	}
+	g := &Genome{cfg: cfg, gene: sb.String()}
+
+	var segs []string
+	for pos := 0; pos+cfg.SegmentLength <= cfg.GeneLength; pos += cfg.Step {
+		segs = append(segs, g.gene[pos:pos+cfg.SegmentLength])
+	}
+	for _, s := range segs {
+		for d := 0; d < cfg.Duplication; d++ {
+			g.input = append(g.input, s)
+		}
+	}
+	r.Shuffle(len(g.input), func(i, j int) { g.input[i], g.input[j] = g.input[j], g.input[i] })
+
+	g.unique = txhash.New[*segMeta](256)
+	g.segs = make([]string, 0, len(segs))
+	g.nextID = stm.NewTVar(0)
+	return g
+}
+
+// Config returns the instance configuration.
+func (g *Genome) Config() Config { return g.cfg }
+
+// Input returns the number of (duplicated) input segments.
+func (g *Genome) Input() int { return len(g.input) }
+
+// Dedup runs phase 1 on worker thread th for the input slice
+// [lo, hi): each distinct segment is registered exactly once. It returns
+// how many inserts this worker won.
+func (g *Genome) Dedup(th *stm.Thread, lo, hi int) int {
+	won := 0
+	for i := lo; i < hi && i < len(g.input); i++ {
+		seg := g.input[i]
+		inserted := false
+		th.Atomic(func(tx *stm.Tx) {
+			inserted = false
+			if g.unique.Contains(tx, seg) {
+				return
+			}
+			id := stm.Read(tx, g.nextID)
+			stm.Write(tx, g.nextID, id+1)
+			meta := &segMeta{
+				id:      id,
+				next:    stm.NewTVar(-1),
+				claimed: stm.NewTVar(false),
+			}
+			g.unique.Insert(tx, seg, meta)
+			inserted = true
+		})
+		if inserted {
+			won++
+		}
+	}
+	return won
+}
+
+// FinishDedup indexes the deduplicated segments (quiescent barrier
+// between the phases, as STAMP's thread barrier is).
+func (g *Genome) FinishDedup() error {
+	keys := g.unique.Keys()
+	g.metas = make([]*segMeta, len(keys))
+	g.segs = make([]string, len(keys))
+	for _, key := range keys {
+		meta, ok := g.unique.PeekGet(key)
+		if !ok {
+			return fmt.Errorf("genome: segment vanished between phases")
+		}
+		if g.metas[meta.id] != nil {
+			return fmt.Errorf("genome: duplicate segment id %d", meta.id)
+		}
+		g.metas[meta.id] = meta
+		g.segs[meta.id] = key
+	}
+	for id, m := range g.metas {
+		if m == nil {
+			return fmt.Errorf("genome: segment id %d unassigned", id)
+		}
+	}
+	return nil
+}
+
+// Match runs phase 2 on worker thread th for unique-segment ids
+// [lo, hi): for each segment, find the segment whose prefix equals its
+// suffix and claim it as successor atomically. prefixIndex maps prefix →
+// candidate ids and is read-only during the phase.
+func (g *Genome) Match(th *stm.Thread, prefixIndex map[string][]int, lo, hi int) {
+	overlap := g.cfg.SegmentLength - g.cfg.Step
+	for id := lo; id < hi && id < len(g.metas); id++ {
+		meta := g.metas[id]
+		suffix := g.segs[id][len(g.segs[id])-overlap:]
+		candidates := prefixIndex[suffix]
+		th.Atomic(func(tx *stm.Tx) {
+			if stm.Read(tx, meta.next) != -1 {
+				return
+			}
+			for _, cid := range candidates {
+				if cid == id {
+					continue
+				}
+				cand := g.metas[cid]
+				if stm.Read(tx, cand.claimed) {
+					continue
+				}
+				stm.Write(tx, cand.claimed, true)
+				stm.Write(tx, meta.next, cid)
+				return
+			}
+		})
+	}
+}
+
+// PrefixIndex builds the read-only prefix index for phase 2 (quiescent).
+func (g *Genome) PrefixIndex() map[string][]int {
+	overlap := g.cfg.SegmentLength - g.cfg.Step
+	idx := make(map[string][]int, len(g.segs))
+	for id, s := range g.segs {
+		p := s[:overlap]
+		idx[p] = append(idx[p], id)
+	}
+	return idx
+}
+
+// Reconstruct walks the links from the unclaimed head and rebuilds the
+// gene (quiescent, sequential — STAMP's phase 3 is sequential too).
+func (g *Genome) Reconstruct() (string, error) {
+	head := -1
+	for id, m := range g.metas {
+		if !m.claimed.Peek() {
+			if head != -1 {
+				return "", fmt.Errorf("genome: multiple chain heads (%d and %d)", head, id)
+			}
+			head = id
+		}
+	}
+	if head == -1 {
+		return "", fmt.Errorf("genome: no chain head (cycle)")
+	}
+	var sb strings.Builder
+	sb.WriteString(g.segs[head])
+	seen := map[int]bool{head: true}
+	for id := g.metas[head].next.Peek(); id != -1; id = g.metas[id].next.Peek() {
+		if seen[id] {
+			return "", fmt.Errorf("genome: cycle at segment %d", id)
+		}
+		seen[id] = true
+		sb.WriteString(g.segs[id][g.cfg.SegmentLength-g.cfg.Step:])
+	}
+	if len(seen) != len(g.metas) {
+		return "", fmt.Errorf("genome: chain covers %d of %d segments", len(seen), len(g.metas))
+	}
+	return sb.String(), nil
+}
+
+// Gene returns the ground-truth string (verification).
+func (g *Genome) Gene() string { return g.gene }
+
+// Run executes the full pipeline on rt's threads and verifies the
+// reconstruction. It returns the number of unique segments.
+func (g *Genome) Run(rt *stm.Runtime) (int, error) {
+	m := rt.Threads()
+	// Phase 1: dedup.
+	parallelRanges(m, len(g.input), func(id, lo, hi int) {
+		g.Dedup(rt.Thread(id), lo, hi)
+	})
+	if err := g.FinishDedup(); err != nil {
+		return 0, err
+	}
+	// Phase 2: match.
+	idx := g.PrefixIndex()
+	parallelRanges(m, len(g.metas), func(id, lo, hi int) {
+		g.Match(rt.Thread(id), idx, lo, hi)
+	})
+	// Phase 3: reconstruct and verify.
+	got, err := g.Reconstruct()
+	if err != nil {
+		return 0, err
+	}
+	if got != g.gene {
+		return 0, fmt.Errorf("genome: reconstruction differs from the gene (%d vs %d chars)", len(got), len(g.gene))
+	}
+	return len(g.metas), nil
+}
+
+// parallelRanges splits [0, n) across m workers and waits for them.
+func parallelRanges(m, n int, f func(worker, lo, hi int)) {
+	var done = make(chan struct{}, m)
+	chunk := (n + m - 1) / m
+	for w := 0; w < m; w++ {
+		go func(w int) {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			f(w, lo, hi)
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < m; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,113 @@
+package genome_test
+
+import (
+	"testing"
+
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/genome"
+	"wincm/internal/stm"
+)
+
+func newRT(t testing.TB, name string, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New(name, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(m, mgr)
+	rt.SetYieldEvery(4)
+	return rt
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := genome.New(genome.Config{Seed: 1})
+	cfg := g.Config()
+	if cfg.GeneLength <= 0 || cfg.SegmentLength <= 0 || cfg.Step <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Step >= cfg.SegmentLength {
+		t.Fatalf("step %d not below segment length %d", cfg.Step, cfg.SegmentLength)
+	}
+	if (cfg.GeneLength-cfg.SegmentLength)%cfg.Step != 0 {
+		t.Fatalf("gene length %d not aligned to the cut", cfg.GeneLength)
+	}
+	if len(g.Gene()) != cfg.GeneLength {
+		t.Fatalf("gene has %d chars, config says %d", len(g.Gene()), cfg.GeneLength)
+	}
+	if g.Input() == 0 {
+		t.Fatal("no input segments")
+	}
+}
+
+func TestSingleThreadPipeline(t *testing.T) {
+	g := genome.New(genome.Config{GeneLength: 1024, Seed: 2})
+	rt := newRT(t, "polka", 1)
+	unique, err := g.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSegs := (g.Config().GeneLength-g.Config().SegmentLength)/g.Config().Step + 1
+	if unique != wantSegs {
+		t.Errorf("unique segments = %d, want %d", unique, wantSegs)
+	}
+}
+
+func TestDedupEliminatesDuplicates(t *testing.T) {
+	g := genome.New(genome.Config{GeneLength: 512, Duplication: 5, Seed: 3})
+	rt := newRT(t, "polka", 1)
+	won := g.Dedup(rt.Thread(0), 0, g.Input())
+	if err := g.FinishDedup(); err != nil {
+		t.Fatal(err)
+	}
+	wantSegs := (g.Config().GeneLength-g.Config().SegmentLength)/g.Config().Step + 1
+	if won != wantSegs {
+		t.Errorf("dedup won %d inserts, want %d distinct segments", won, wantSegs)
+	}
+	if g.Input() != wantSegs*5 {
+		t.Errorf("input %d, want %d", g.Input(), wantSegs*5)
+	}
+}
+
+// TestConcurrentPipeline runs the full assembly under several managers
+// and checks exact reconstruction every time.
+func TestConcurrentPipeline(t *testing.T) {
+	for _, name := range []string{"polka", "greedy", "online-dynamic", "adaptive-improved-dynamic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := genome.New(genome.Config{GeneLength: 2048, Seed: 4})
+			rt := newRT(t, name, 8)
+			if _, err := g.Run(rt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReconstructDetectsMissingLinks: an unmatched middle segment makes
+// reconstruction fail loudly rather than return a wrong gene.
+func TestReconstructDetectsMissingLinks(t *testing.T) {
+	g := genome.New(genome.Config{GeneLength: 512, Seed: 5})
+	rt := newRT(t, "polka", 1)
+	g.Dedup(rt.Thread(0), 0, g.Input())
+	if err := g.FinishDedup(); err != nil {
+		t.Fatal(err)
+	}
+	// Skip matching entirely: every segment is a head.
+	if _, err := g.Reconstruct(); err == nil {
+		t.Error("reconstruction succeeded without links")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := genome.New(genome.Config{GeneLength: 512, Seed: 6})
+	b := genome.New(genome.Config{GeneLength: 512, Seed: 7})
+	if a.Gene() == b.Gene() {
+		t.Error("different seeds produced the same gene")
+	}
+	c := genome.New(genome.Config{GeneLength: 512, Seed: 6})
+	if a.Gene() != c.Gene() {
+		t.Error("same seed produced different genes")
+	}
+}

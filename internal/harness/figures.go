@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"wincm/internal/bench"
+	"wincm/internal/core"
+	"wincm/internal/stats"
+)
+
+// WindowVariantNames lists the paper's STM-runnable window variants
+// (Fig. 2's series).
+func WindowVariantNames() []string {
+	names := make([]string, 0, len(core.Variants()))
+	for _, v := range core.Variants() {
+		names = append(names, v.String())
+	}
+	return names
+}
+
+// ComparisonManagerNames lists Fig. 3–5's series: the two best window
+// variants against Polka, Greedy and Priority.
+func ComparisonManagerNames() []string {
+	return []string{"online-dynamic", "adaptive-improved-dynamic", "polka", "greedy", "priority"}
+}
+
+// Options parameterize the figure drivers. The zero value is filled with
+// CI-friendly defaults; PaperScale restores the paper's regime.
+type Options struct {
+	// Threads is the M sweep (Figs. 2–4). Default {1, 2, 4, 8, 16, 32}.
+	Threads []int
+	// Duration is each timed cell's run length. Default 300ms
+	// (paper: 10 s).
+	Duration time.Duration
+	// Reps averages each cell over this many runs. Default 2 (paper: 6).
+	Reps int
+	// Benchmarks to include. Default all four.
+	Benchmarks []string
+	// TotalTxs is Fig. 5's fixed work. Default 20000 (the paper's value).
+	TotalTxs int
+	// Fig5Threads is Fig. 5's thread count. Default 32 (the paper's).
+	Fig5Threads int
+	// WindowN is N for window managers. Default 50 (the paper's).
+	WindowN int
+	// KeyRange is the set benchmarks' key universe. Default 256.
+	KeyRange int
+	// Invisible switches the STM to invisible reads for every cell
+	// (ablation; the paper's setting is visible reads).
+	Invisible bool
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8, 16, 32}
+	}
+	if o.Duration <= 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.Reps <= 0 {
+		o.Reps = 2
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = BenchmarkNames()
+	}
+	if o.TotalTxs <= 0 {
+		o.TotalTxs = 20000
+	}
+	if o.Fig5Threads <= 0 {
+		o.Fig5Threads = 32
+	}
+	if o.WindowN <= 0 {
+		o.WindowN = 50
+	}
+	if o.KeyRange <= 0 {
+		o.KeyRange = 256
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// throughputMix is the Figs. 2–4 workload: randomly selected insertions
+// and deletions with equal probability, as in the paper.
+func (o Options) throughputMix() bench.Mix {
+	return bench.Mix{UpdatePct: 100, KeyRange: o.KeyRange}
+}
+
+// Table is a rendered experiment result: one row per series (contention
+// manager), one column per sweep point.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title))); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// cell runs one timed experiment cell Reps times and returns the summary
+// of the metric extracted by f.
+func (o Options) cell(benchmark, manager string, threads int, f func(Result) float64) (stats.Summary, error) {
+	vals := make([]float64, 0, o.Reps)
+	for rep := 0; rep < o.Reps; rep++ {
+		seed := o.Seed + uint64(rep)*1_000_003
+		w, err := NewWorkload(benchmark, o.throughputMix(), seed)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		cfg := Config{Manager: manager, Threads: threads, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+		res, err := RunTimed(cfg, w, o.Duration)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		vals = append(vals, f(res))
+	}
+	return stats.Summarize(vals), nil
+}
+
+// sweep builds one throughput-style table per benchmark: rows = managers,
+// columns = thread counts, cells = mean of f over Reps runs.
+func (o Options) sweep(title, unit string, managers []string, f func(Result) float64) ([]Table, error) {
+	var tables []Table
+	for _, b := range o.Benchmarks {
+		t := Table{Title: fmt.Sprintf("%s — %s (%s)", title, b, unit)}
+		t.Columns = append(t.Columns, "manager")
+		for _, m := range o.Threads {
+			t.Columns = append(t.Columns, fmt.Sprintf("M=%d", m))
+		}
+		for _, mgr := range managers {
+			row := []string{mgr}
+			for _, m := range o.Threads {
+				s, err := o.cell(b, mgr, m, f)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.0f", s.Mean))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig2 reproduces Figure 2: throughput of the five window-based variants
+// on each benchmark across the thread sweep.
+func Fig2(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	return o.sweep("Fig 2: window-variant throughput", "commits/s",
+		WindowVariantNames(), func(r Result) float64 { return r.Throughput() })
+}
+
+// Fig3 reproduces Figure 3: best window variants vs Polka, Greedy and
+// Priority (throughput).
+func Fig3(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	return o.sweep("Fig 3: window vs classic managers, throughput", "commits/s",
+		ComparisonManagerNames(), func(r Result) float64 { return r.Throughput() })
+}
+
+// Fig4 reproduces Figure 4: aborts per commit for the Fig. 3 manager set.
+func Fig4(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	var tables []Table
+	for _, b := range o.Benchmarks {
+		t := Table{Title: fmt.Sprintf("Fig 4: aborts per commit — %s", b)}
+		t.Columns = append(t.Columns, "manager")
+		for _, m := range o.Threads {
+			t.Columns = append(t.Columns, fmt.Sprintf("M=%d", m))
+		}
+		for _, mgr := range ComparisonManagerNames() {
+			row := []string{mgr}
+			for _, m := range o.Threads {
+				s, err := o.cell(b, mgr, m, func(r Result) float64 { return r.AbortsPerCommit() })
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// fig5Levels maps the paper's contention levels to update percentages.
+var fig5Levels = []struct {
+	name string
+	mix  bench.Mix
+}{
+	{"low(20%)", bench.Mix{UpdatePct: 20}},
+	{"medium(60%)", bench.Mix{UpdatePct: 60}},
+	{"high(100%)", bench.Mix{UpdatePct: 100}},
+}
+
+// Fig5 reproduces Figure 5: total time to commit TotalTxs transactions
+// with Fig5Threads threads under low/medium/high contention.
+func Fig5(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	var tables []Table
+	for _, b := range o.Benchmarks {
+		t := Table{Title: fmt.Sprintf("Fig 5: time to commit %d txs, M=%d — %s (seconds)", o.TotalTxs, o.Fig5Threads, b)}
+		t.Columns = []string{"manager"}
+		for _, lvl := range fig5Levels {
+			t.Columns = append(t.Columns, lvl.name)
+		}
+		for _, mgr := range ComparisonManagerNames() {
+			row := []string{mgr}
+			for _, lvl := range fig5Levels {
+				vals := make([]float64, 0, o.Reps)
+				for rep := 0; rep < o.Reps; rep++ {
+					seed := o.Seed + uint64(rep)*1_000_003
+					mix := lvl.mix
+					mix.KeyRange = o.KeyRange
+					w, err := NewWorkload(b, mix, seed)
+					if err != nil {
+						return nil, err
+					}
+					cfg := Config{Manager: mgr, Threads: o.Fig5Threads, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+					res, err := RunCount(cfg, w, o.TotalTxs)
+					if err != nil {
+						return nil, err
+					}
+					vals = append(vals, res.Wall.Seconds())
+				}
+				row = append(row, fmt.Sprintf("%.3f", stats.Mean(vals)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Extended reports the Section-IV future-work metrics (wasted work,
+// repeat aborts per commit, mean committed duration, mean response time)
+// at the largest configured thread count.
+func Extended(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	m := o.Threads[len(o.Threads)-1]
+	var tables []Table
+	for _, b := range o.Benchmarks {
+		t := Table{
+			Title:   fmt.Sprintf("Extended metrics — %s, M=%d", b, m),
+			Columns: []string{"manager", "wasted-work", "repeat-aborts/commit", "mean-commit-µs", "mean-response-µs"},
+		}
+		for _, mgr := range ComparisonManagerNames() {
+			seed := o.Seed
+			w, err := NewWorkload(b, o.throughputMix(), seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := Config{Manager: mgr, Threads: m, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+			res, err := RunTimed(cfg, w, o.Duration)
+			if err != nil {
+				return nil, err
+			}
+			repeat := 0.0
+			if res.Commits > 0 {
+				repeat = float64(res.RepeatAborts) / float64(res.Commits)
+			}
+			t.Rows = append(t.Rows, []string{
+				mgr,
+				fmt.Sprintf("%.3f", res.WastedWork()),
+				fmt.Sprintf("%.3f", repeat),
+				fmt.Sprintf("%.1f", float64(res.MeanCommitDur().Nanoseconds())/1e3),
+				fmt.Sprintf("%.1f", float64(res.MeanResponse().Nanoseconds())/1e3),
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

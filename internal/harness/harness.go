@@ -1,0 +1,182 @@
+// Package harness drives the paper's experiments: it builds a runtime with
+// a named contention manager, runs a workload from M threads — for a fixed
+// duration (throughput experiments, Figs. 2–4) or for a fixed number of
+// transactions (execution-time overhead, Fig. 5) — and aggregates the
+// transactional metrics.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/core"
+	"wincm/internal/metrics"
+	"wincm/internal/stm"
+)
+
+// Runner executes one transaction on th and returns its commit statistics.
+type Runner func(th *stm.Thread) stm.TxInfo
+
+// Workload is a benchmark the harness can drive.
+type Workload interface {
+	// Name identifies the benchmark.
+	Name() string
+	// Setup populates shared state before the run (single-threaded).
+	Setup(th *stm.Thread)
+	// NewRunner returns thread id's transaction loop body; seed
+	// parameterizes its private random stream.
+	NewRunner(id int, seed uint64) Runner
+	// Verify checks post-run invariants in a quiescent state.
+	Verify() error
+}
+
+// Config describes one experiment cell.
+type Config struct {
+	// Manager names the contention manager (cm registry name).
+	Manager string
+	// Threads is M, the number of worker threads.
+	Threads int
+	// WindowN is N for window-based managers (transactions per window);
+	// ignored for the classic managers. 0 means the paper default of 50.
+	WindowN int
+	// Invisible switches the STM to invisible (version-validated) reads;
+	// the paper's experiments use visible reads (the default).
+	Invisible bool
+	// Interleave makes every k-th transactional open yield the processor
+	// so transactions overlap at fine grain even when GOMAXPROCS is
+	// smaller than Threads (the paper oversubscribed 4 cores with 32
+	// threads; a single-core machine needs this to exhibit contention at
+	// all). 0 selects the default of 8; negative disables.
+	Interleave int
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// defaultInterleave is the opens-per-yield grain used when
+// Config.Interleave is 0.
+const defaultInterleave = 8
+
+// interleave resolves the Interleave setting.
+func (c Config) interleave() int {
+	switch {
+	case c.Interleave < 0:
+		return 0
+	case c.Interleave == 0:
+		return defaultInterleave
+	default:
+		return c.Interleave
+	}
+}
+
+// stmOptions translates the Config into runtime options.
+func (c Config) stmOptions() []stm.Option {
+	if c.Invisible {
+		return []stm.Option{stm.WithInvisibleReads()}
+	}
+	return nil
+}
+
+// NewManager builds the configured contention manager, routing window
+// variants through core so WindowN is honored.
+func (c Config) NewManager() (stm.ContentionManager, error) {
+	if v, err := core.ParseVariant(c.Manager); err == nil {
+		cfg := core.DefaultConfig(v, c.Threads)
+		if c.WindowN > 0 {
+			cfg.N = c.WindowN
+		}
+		cfg.Seed = c.Seed + 1
+		return core.NewManager(cfg), nil
+	}
+	return cm.New(c.Manager, c.Threads)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	metrics.Summary
+}
+
+// RunTimed executes w from cfg.Threads threads for roughly d and returns
+// the aggregated metrics. The workload is set up fresh by the caller.
+func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
+	mgr, err := cfg.NewManager()
+	if err != nil {
+		return Result{}, err
+	}
+	rt := stm.New(cfg.Threads, mgr, cfg.stmOptions()...)
+	rt.SetYieldEvery(cfg.interleave())
+	w.Setup(rt.Thread(0))
+
+	per := make([]*metrics.Thread, cfg.Threads)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		per[i] = &metrics.Thread{}
+		wg.Add(1)
+		go func(id int, th *stm.Thread, mt *metrics.Thread) {
+			defer wg.Done()
+			run := w.NewRunner(id, cfg.Seed+uint64(id)*7919)
+			for !stop.Load() {
+				mt.Record(run(th))
+			}
+		}(i, rt.Thread(i), per[i])
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if err := w.Verify(); err != nil {
+		return Result{}, fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), cfg.Manager, err)
+	}
+	return Result{Summary: metrics.Aggregate(per, wall)}, nil
+}
+
+// RunCount executes total transactions split evenly across cfg.Threads
+// threads and returns the aggregated metrics; Result.Wall is the total
+// time needed to commit them all (Fig. 5's measurement).
+func RunCount(cfg Config, w Workload, total int) (Result, error) {
+	mgr, err := cfg.NewManager()
+	if err != nil {
+		return Result{}, err
+	}
+	rt := stm.New(cfg.Threads, mgr, cfg.stmOptions()...)
+	rt.SetYieldEvery(cfg.interleave())
+	w.Setup(rt.Thread(0))
+
+	per := make([]*metrics.Thread, cfg.Threads)
+	var wg sync.WaitGroup
+	quota := func(id int) int {
+		q := total / cfg.Threads
+		if id < total%cfg.Threads {
+			q++
+		}
+		return q
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		per[i] = &metrics.Thread{}
+		wg.Add(1)
+		go func(id int, th *stm.Thread, mt *metrics.Thread) {
+			defer wg.Done()
+			run := w.NewRunner(id, cfg.Seed+uint64(id)*7919)
+			for n := quota(id); n > 0; n-- {
+				mt.Record(run(th))
+			}
+		}(i, rt.Thread(i), per[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if err := w.Verify(); err != nil {
+		return Result{}, fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), cfg.Manager, err)
+	}
+	res := Result{Summary: metrics.Aggregate(per, wall)}
+	if res.Commits != int64(total) {
+		return res, fmt.Errorf("harness: committed %d of %d transactions", res.Commits, total)
+	}
+	return res, nil
+}

@@ -1,0 +1,23 @@
+package kmeans_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/kmeans"
+	"wincm/internal/stm"
+)
+
+// Example assigns points to clusters transactionally and recenters.
+func Example() {
+	k := kmeans.New(kmeans.Config{K: 4, Points: 256, Seed: 1})
+	rt := stm.New(1, cm.NewPolka())
+	th := rt.Thread(0)
+	for i := 0; i < 256; i++ {
+		k.Assign(th, i)
+	}
+	before := k.Cost()
+	k.Recenter(th)
+	fmt.Println(k.Assigned() == 0, k.Cost() <= before, k.Verify() == nil)
+	// Output: true true true
+}

@@ -1,0 +1,136 @@
+package kmeans_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/kmeans"
+	"wincm/internal/stm"
+)
+
+func newRT(t testing.TB, name string, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New(name, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	k := kmeans.New(kmeans.Config{})
+	c := k.Config()
+	if c.K <= 0 || c.Points <= 0 || c.Spread <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignAccumulates(t *testing.T) {
+	k := kmeans.New(kmeans.Config{K: 3, Points: 100, Seed: 1})
+	rt := newRT(t, "polka", 1)
+	th := rt.Thread(0)
+	for i := 0; i < 100; i++ {
+		cluster, info := k.Assign(th, i)
+		if cluster < 0 || cluster >= 3 {
+			t.Fatalf("cluster %d out of range", cluster)
+		}
+		if info.Attempts != 1 {
+			t.Fatalf("single-threaded assign took %d attempts", info.Attempts)
+		}
+	}
+	if got := k.Assigned(); got != 100 {
+		t.Errorf("Assigned = %d, want 100", got)
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecenterMovesTowardData(t *testing.T) {
+	k := kmeans.New(kmeans.Config{K: 2, Points: 500, Spread: 0.05, Seed: 2})
+	rt := newRT(t, "polka", 1)
+	th := rt.Thread(0)
+	for i := 0; i < 500; i++ {
+		k.Assign(th, i)
+	}
+	k.Recenter(th)
+	if got := k.Assigned(); got != 0 {
+		t.Errorf("accumulators not reset: %d", got)
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// A second pass after recentering must strictly not diverge: total
+	// within-cluster distance is finite and positions stay in range.
+	for i := 0; i < 500; i++ {
+		if c, _ := k.Assign(th, i); c < 0 || c >= 2 {
+			t.Fatal("bad cluster")
+		}
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAssignConservation: every committed assignment lands in
+// exactly one accumulator, under classic and window managers.
+func TestConcurrentAssignConservation(t *testing.T) {
+	for _, name := range []string{"polka", "online-dynamic", "adaptive-improved-dynamic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const m, per = 8, 300
+			k := kmeans.New(kmeans.Config{K: 4, Points: 1024, Seed: 3})
+			rt := newRT(t, name, m)
+			rt.SetYieldEvery(4)
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(id int, th *stm.Thread) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						k.Assign(th, id*per+j)
+					}
+				}(i, rt.Thread(i))
+			}
+			wg.Wait()
+			if got := k.Assigned(); got != m*per {
+				t.Errorf("accumulated %d points, want %d", got, m*per)
+			}
+			if err := k.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConvergenceSingleThread: repeated assign/recenter epochs shrink the
+// clustering cost (kmeans actually works on the STM).
+func TestConvergenceSingleThread(t *testing.T) {
+	k := kmeans.New(kmeans.Config{K: 4, Points: 2000, Spread: 0.02, Seed: 5})
+	rt := newRT(t, "polka", 1)
+	th := rt.Thread(0)
+	before := k.Cost()
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i < 2000; i++ {
+			k.Assign(th, i)
+		}
+		k.Recenter(th)
+	}
+	after := k.Cost()
+	if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Fatalf("cost diverged: %v", after)
+	}
+	if after >= before {
+		t.Errorf("cost did not improve: %v → %v", before, after)
+	}
+	if err := k.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"wincm/internal/metrics"
+	"wincm/internal/stm"
+)
+
+// Example aggregates two worker threads into run-level metrics.
+func Example() {
+	a, b := &metrics.Thread{}, &metrics.Thread{}
+	a.Record(stm.TxInfo{Attempts: 1, Duration: time.Millisecond, CommitDur: time.Millisecond})
+	b.Record(stm.TxInfo{Attempts: 3, Wasted: 2 * time.Millisecond, Duration: 4 * time.Millisecond, CommitDur: time.Millisecond})
+	s := metrics.Aggregate([]*metrics.Thread{a, b}, time.Second)
+	fmt.Printf("%.0f commits/s, %.1f aborts/commit\n", s.Throughput(), s.AbortsPerCommit())
+	// Output: 2 commits/s, 1.0 aborts/commit
+}

@@ -1,0 +1,118 @@
+// Package metrics collects the transactional statistics the paper reports:
+// throughput (committed transactions per second), aborts per commit,
+// execution time, and the Section-IV extension metrics — wasted work,
+// repeat conflicts, average committed-transaction duration and average
+// response time.
+package metrics
+
+import (
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// Thread accumulates the statistics of one worker thread. It is not
+// synchronized: exactly one goroutine records into it, and readers must
+// wait for the run to finish.
+type Thread struct {
+	// Commits is the number of committed transactions.
+	Commits int64
+	// Aborts is the number of aborted attempts.
+	Aborts int64
+	// RepeatAborts counts aborts beyond a transaction's first — the
+	// transaction conflicted again after retrying (our countable proxy
+	// for the paper's "repeat conflicts").
+	RepeatAborts int64
+	// Wasted is the total time spent in attempts that aborted.
+	Wasted time.Duration
+	// Busy is the total time spent executing attempts (useful + wasted).
+	Busy time.Duration
+	// RespSum accumulates response times (first attempt to commit).
+	RespSum time.Duration
+	// CommitDurSum accumulates the durations of successful attempts.
+	CommitDurSum time.Duration
+}
+
+// Record folds one committed transaction's TxInfo into the counters.
+func (t *Thread) Record(info stm.TxInfo) {
+	t.Commits++
+	t.Aborts += int64(info.Aborts())
+	if a := info.Aborts(); a > 1 {
+		t.RepeatAborts += int64(a - 1)
+	}
+	t.Wasted += info.Wasted
+	t.Busy += info.Wasted + info.CommitDur
+	t.RespSum += info.Duration
+	t.CommitDurSum += info.CommitDur
+}
+
+// Summary is the aggregate of a whole run.
+type Summary struct {
+	// Threads is the number of worker threads aggregated.
+	Threads int
+	// Wall is the wall-clock duration of the run.
+	Wall time.Duration
+	// Commits, Aborts and RepeatAborts sum the per-thread counters.
+	Commits, Aborts, RepeatAborts int64
+	// Wasted and Busy sum the per-thread execution times.
+	Wasted, Busy time.Duration
+	respSum      time.Duration
+	commitDurSum time.Duration
+}
+
+// Aggregate combines per-thread counters into a Summary for a run that
+// took wall time.
+func Aggregate(threads []*Thread, wall time.Duration) Summary {
+	s := Summary{Threads: len(threads), Wall: wall}
+	for _, t := range threads {
+		s.Commits += t.Commits
+		s.Aborts += t.Aborts
+		s.RepeatAborts += t.RepeatAborts
+		s.Wasted += t.Wasted
+		s.Busy += t.Busy
+		s.respSum += t.RespSum
+		s.commitDurSum += t.CommitDurSum
+	}
+	return s
+}
+
+// Throughput returns committed transactions per second.
+func (s Summary) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Commits) / s.Wall.Seconds()
+}
+
+// AbortsPerCommit returns the aborts/commit ratio (Fig. 4's metric).
+func (s Summary) AbortsPerCommit() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits)
+}
+
+// WastedWork returns the fraction of execution time spent in attempts
+// that aborted (Section IV's wasted-work metric).
+func (s Summary) WastedWork() float64 {
+	if s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Wasted) / float64(s.Busy)
+}
+
+// MeanResponse returns the average response time per transaction.
+func (s Summary) MeanResponse() time.Duration {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.respSum / time.Duration(s.Commits)
+}
+
+// MeanCommitDur returns the average duration of committed attempts.
+func (s Summary) MeanCommitDur() time.Duration {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.commitDurSum / time.Duration(s.Commits)
+}

@@ -1,0 +1,74 @@
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/metrics"
+	"wincm/internal/stm"
+)
+
+func info(attempts int, wasted, dur, commitDur time.Duration) stm.TxInfo {
+	return stm.TxInfo{Attempts: attempts, Wasted: wasted, Duration: dur, CommitDur: commitDur}
+}
+
+func TestRecordCountsAbortsAndRepeats(t *testing.T) {
+	var th metrics.Thread
+	th.Record(info(1, 0, time.Millisecond, time.Millisecond))
+	th.Record(info(2, time.Millisecond, 3*time.Millisecond, time.Millisecond))
+	th.Record(info(4, 5*time.Millisecond, 8*time.Millisecond, time.Millisecond))
+	if th.Commits != 3 {
+		t.Errorf("Commits = %d", th.Commits)
+	}
+	if th.Aborts != 0+1+3 {
+		t.Errorf("Aborts = %d", th.Aborts)
+	}
+	// Repeats: only the 4-attempt transaction retried more than once
+	// (3 aborts ⇒ 2 repeats).
+	if th.RepeatAborts != 2 {
+		t.Errorf("RepeatAborts = %d", th.RepeatAborts)
+	}
+	if th.Wasted != 6*time.Millisecond {
+		t.Errorf("Wasted = %v", th.Wasted)
+	}
+	if th.Busy != 6*time.Millisecond+3*time.Millisecond {
+		t.Errorf("Busy = %v", th.Busy)
+	}
+}
+
+func TestAggregateAndDerivedMetrics(t *testing.T) {
+	a, b := &metrics.Thread{}, &metrics.Thread{}
+	a.Record(info(2, 2*time.Millisecond, 4*time.Millisecond, 2*time.Millisecond))
+	b.Record(info(1, 0, 2*time.Millisecond, 2*time.Millisecond))
+	b.Record(info(1, 0, 2*time.Millisecond, 2*time.Millisecond))
+	s := metrics.Aggregate([]*metrics.Thread{a, b}, 2*time.Second)
+	if s.Threads != 2 || s.Commits != 3 || s.Aborts != 1 {
+		t.Errorf("aggregate = %+v", s)
+	}
+	if got := s.Throughput(); got != 1.5 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := s.AbortsPerCommit(); got != 1.0/3 {
+		t.Errorf("AbortsPerCommit = %v", got)
+	}
+	// Wasted 2ms of busy 2+6=8ms.
+	if got := s.WastedWork(); got != 0.25 {
+		t.Errorf("WastedWork = %v", got)
+	}
+	if got := s.MeanResponse(); got != (4+2+2)*time.Millisecond/3 {
+		t.Errorf("MeanResponse = %v", got)
+	}
+	if got := s.MeanCommitDur(); got != 2*time.Millisecond {
+		t.Errorf("MeanCommitDur = %v", got)
+	}
+}
+
+func TestZeroValueSummaries(t *testing.T) {
+	var s metrics.Summary
+	if s.Throughput() != 0 || s.AbortsPerCommit() != 0 || s.WastedWork() != 0 {
+		t.Error("zero summary produced nonzero ratios")
+	}
+	if s.MeanResponse() != 0 || s.MeanCommitDur() != 0 {
+		t.Error("zero summary produced nonzero durations")
+	}
+}

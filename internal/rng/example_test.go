@@ -1,0 +1,17 @@
+package rng_test
+
+import (
+	"fmt"
+
+	"wincm/internal/rng"
+)
+
+// Example derives independent per-thread streams from one master seed —
+// the pattern every randomized component of the repository uses.
+func Example() {
+	master := rng.New(42)
+	threadA := master.Split()
+	threadB := master.Split()
+	fmt.Println(threadA.Intn(100) != threadB.Intn(100) || threadA.Intn(100) != threadB.Intn(100))
+	// Output: true
+}

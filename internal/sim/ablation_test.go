@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wincm/internal/sim"
+	"wincm/internal/stats"
+)
+
+// TestDelayAblationOnColumnConflicts quantifies the paper's core
+// mechanism in the simulator: with conflicts concentrated inside window
+// columns, the random initial delays shift conflicting transactions into
+// different frames, so the Online algorithm should abort less than its
+// ZeroDelay ablation on average across seeds.
+func TestDelayAblationOnColumnConflicts(t *testing.T) {
+	var with, without []float64
+	for seed := uint64(0); seed < 12; seed++ {
+		p := sim.Params{M: 24, N: 12, C: 16, ColBias: 1.0, Algorithm: sim.Online, Seed: 100 + seed}
+		res, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		with = append(with, float64(res.Aborts))
+		p.ZeroDelay = true
+		res, err = sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without = append(without, float64(res.Aborts))
+	}
+	mWith, mWithout := stats.Mean(with), stats.Mean(without)
+	if mWith >= mWithout {
+		t.Errorf("delays did not help: %.1f aborts with vs %.1f without", mWith, mWithout)
+	}
+}
+
+// TestOfflineAtMostOnline: with the conflict graph in hand, Offline's
+// maximal-independent-set steps commit at least as much per step as
+// Online's local-minima rule; averaged over seeds its makespan should not
+// be worse.
+func TestOfflineAtMostOnline(t *testing.T) {
+	var off, on []float64
+	for seed := uint64(0); seed < 10; seed++ {
+		p := sim.Params{M: 16, N: 10, C: 12, ColBias: 0.6, Seed: 500 + seed}
+		p.Algorithm = sim.Offline
+		a, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Algorithm = sim.Online
+		b, err := sim.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off = append(off, float64(a.Makespan))
+		on = append(on, float64(b.Makespan))
+	}
+	if stats.Mean(off) > stats.Mean(on) {
+		t.Errorf("offline mean makespan %.1f above online %.1f", stats.Mean(off), stats.Mean(on))
+	}
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wincm/internal/sim"
+)
+
+// BenchmarkSimulate measures one full window simulation per algorithm —
+// the inner loop of the theorem-sweep experiments.
+func BenchmarkSimulate(b *testing.B) {
+	for _, alg := range []sim.Algorithm{sim.Offline, sim.Online, sim.OneShot} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sim.Params{
+					M: 32, N: 16, C: 16, ColBias: 0.7,
+					Algorithm: alg, Seed: uint64(i) + 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

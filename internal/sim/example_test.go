@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"wincm/internal/sim"
+)
+
+// Example simulates one window execution of the Offline algorithm and
+// checks the schedule against the Theorem 2.1 expression.
+func Example() {
+	res, err := sim.Run(sim.Params{
+		M: 16, N: 8, C: 8, ColBias: 0.8,
+		Algorithm: sim.Offline, Seed: 42,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Makespan >= 8, float64(res.Makespan) < 4*res.Bound)
+	// Output: true true
+}
+
+// ExampleRun_resourceModel uses the resource model of the
+// competitive-ratio theorems.
+func ExampleRun_resourceModel() {
+	res, err := sim.Run(sim.Params{
+		M: 8, N: 4, Resources: 16,
+		Algorithm: sim.Online, Seed: 7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.OptLB >= 4, res.Ratio >= 1)
+	// Output: true true
+}

@@ -1,0 +1,74 @@
+package sim_test
+
+import (
+	"testing"
+
+	"wincm/internal/sim"
+)
+
+// TestResourceModelRatioBounded checks Theorem 2.2's empirical shape: the
+// competitive ratio of the window algorithms stays within a modest
+// multiple of s + log(MN) across a resource sweep.
+func TestResourceModelRatioBounded(t *testing.T) {
+	for _, s := range []int{2, 8, 32} {
+		for _, alg := range []sim.Algorithm{sim.Offline, sim.Online} {
+			res, err := sim.Run(sim.Params{
+				M: 16, N: 8, Resources: s, Algorithm: alg, Seed: 5,
+			})
+			if err != nil {
+				t.Fatalf("s=%d %v: %v", s, alg, err)
+			}
+			if res.OptLB < 8 {
+				t.Fatalf("s=%d: lower bound %d below N", s, res.OptLB)
+			}
+			if res.Ratio <= 0 {
+				t.Fatalf("s=%d %v: ratio %v", s, alg, res.Ratio)
+			}
+			// Generous constant: the theorems allow O(s + log MN); with
+			// s ≤ 32 and ln(128) ≈ 4.9, 4×(s + log MN) is far above any
+			// correct schedule here.
+			limit := 4 * (float64(s) + 4.9)
+			if res.Ratio > limit {
+				t.Errorf("s=%d %v: ratio %.2f exceeds %.1f", s, alg, res.Ratio, limit)
+			}
+		}
+	}
+}
+
+// TestResourceModelMakespanAtLeastLB: no schedule beats the lower bound.
+func TestResourceModelMakespanAtLeastLB(t *testing.T) {
+	for _, alg := range []sim.Algorithm{sim.Offline, sim.Online, sim.OneShot} {
+		res, err := sim.Run(sim.Params{M: 8, N: 6, Resources: 4, Algorithm: alg, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.OptLB {
+			t.Errorf("%v: makespan %d below lower bound %d", alg, res.Makespan, res.OptLB)
+		}
+	}
+}
+
+// TestFewerResourcesMoreContention: shrinking s raises the realized C.
+func TestFewerResourcesMoreContention(t *testing.T) {
+	get := func(s int) int {
+		res, err := sim.Run(sim.Params{M: 16, N: 8, Resources: s, Algorithm: sim.Online, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.C
+	}
+	if cHot, cCold := get(2), get(256); cHot <= cCold {
+		t.Errorf("C(s=2)=%d not above C(s=256)=%d", cHot, cCold)
+	}
+}
+
+// TestNoReadsOption: ReadsPerTx < 0 produces write-only transactions.
+func TestNoReadsOption(t *testing.T) {
+	res, err := sim.Run(sim.Params{M: 4, N: 4, Resources: 64, ReadsPerTx: -1, Algorithm: sim.Online, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < 4 {
+		t.Errorf("makespan %d below N", res.Makespan)
+	}
+}

@@ -1,0 +1,131 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/stats"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := stats.Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := stats.Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := stats.Stddev([]float64{5}); got != 0 {
+		t.Errorf("Stddev of singleton = %v", got)
+	}
+	if got := stats.Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, math.Sqrt(32.0/7)) {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if stats.Min(xs) != 1 || stats.Max(xs) != 5 {
+		t.Error("min/max wrong")
+	}
+	if got := stats.Median(xs); got != 3 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := stats.Median([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Errorf("Median even = %v", got)
+	}
+	if got := stats.Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v", got)
+	}
+	// Median must not reorder its input.
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if got := stats.CI95([]float64{1}); got != 0 {
+		t.Errorf("CI95 singleton = %v", got)
+	}
+	xs := []float64{10, 12, 14}
+	want := 1.96 * stats.Stddev(xs) / math.Sqrt(3)
+	if got := stats.CI95(xs); !almost(got, want) {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	a, b := stats.LinearFit(xs, ys)
+	if !almost(a, 2) || !almost(b, 3) {
+		t.Errorf("fit = %v, %v", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b := stats.LinearFit([]float64{2, 2}, []float64{1, 3})
+	if a != 0 || !almost(b, 2) {
+		t.Errorf("vertical fit = %v, %v", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LinearFit with 1 point did not panic")
+		}
+	}()
+	stats.LinearFit([]float64{1}, []float64{1})
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := stats.Pearson(xs, []float64{2, 4, 6, 8}); !almost(got, 1) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	if got := stats.Pearson(xs, []float64{8, 6, 4, 2}); !almost(got, -1) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := stats.Pearson(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant series correlation = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Pearson length mismatch did not panic")
+		}
+	}()
+	stats.Pearson(xs, []float64{1})
+}
+
+// TestQuickMeanBounds: the mean always lies within [min, max].
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e300 {
+				return true // avoid summation overflow, not a stats property
+			}
+		}
+		m := stats.Mean(xs)
+		return m >= stats.Min(xs)-1e-9 && m <= stats.Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package stm
+
+// Invisible-read support. DSTM2 (like DSTM and RSTM) offers two read
+// strategies; the paper's experiments fix *visible* reads, where readers
+// register on the variable and writers resolve read-write conflicts
+// eagerly through the contention manager. This file adds the alternative,
+// *invisible* reads: readers stay unregistered and instead record the
+// variable's version, revalidating their read set as they go and once
+// more at commit. Writers never see readers, so the contention manager
+// only arbitrates write-write conflicts; read-write conflicts surface as
+// self-aborts at validation time.
+//
+// Correctness: writes are still acquired eagerly, so two transactions
+// with overlapping write sets never both proceed. A transaction's reads
+// are consistent at its last successful validation; validating after
+// every open (incremental validation, as in DSTM) extends that to the
+// whole execution — opacity — and the final validation inside commit
+// makes the commit point a correct serialization point: every variable
+// read still holds the version read, and any concurrent writer of those
+// variables either committed before our last validation (we saw its
+// value) or commits after our status CAS (serializes after us).
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithInvisibleReads switches the runtime's read strategy from visible
+// (the paper's setting, the default) to invisible version-validated
+// reads.
+func WithInvisibleReads() Option {
+	return func(rt *Runtime) { rt.invisible = true }
+}
+
+// vread records one invisible read for later validation.
+type vread struct {
+	c   container
+	ver uint64
+}
+
+// readInvisible performs an invisible read of v: the reader does not
+// register on the variable, so later writers will not see it. An *active
+// writer already owning v* is still an eagerly detected conflict and goes
+// through the contention manager, exactly as in DSTM — invisibility is
+// one-directional. The version is logged and the whole read set
+// revalidated so the attempt never observes two states from different
+// commit orders.
+func readInvisible[T any](tx *Tx, v *TVar[T]) T {
+	tx.maybeYield()
+	attempt := 0
+	for {
+		tx.checkAlive()
+		v.mu.Lock()
+		v.fold()
+		if w := v.writer; w != nil && w != tx {
+			v.mu.Unlock()
+			tx.resolve(w, ReadWrite, &attempt)
+			continue
+		}
+		if tx.Status() != Active {
+			v.mu.Unlock()
+			panic(retrySignal{})
+		}
+		var val T
+		if v.writer == tx {
+			val = v.pending
+			v.mu.Unlock()
+			return val
+		}
+		val = v.val
+		ver := v.version
+		v.mu.Unlock()
+
+		if !tx.knownRead(v) {
+			tx.vreads = append(tx.vreads, vread{c: v, ver: ver})
+			tx.rt.cm.Opened(tx)
+			if !tx.validateReads(false) {
+				tx.selfAbort()
+			}
+		} else if !v.validate(tx, ver, false) {
+			// Re-read of a known variable with a moved version: the
+			// snapshot is broken.
+			tx.selfAbort()
+		}
+		return val
+	}
+}
+
+// knownRead reports whether v is already in the invisible read set.
+func (tx *Tx) knownRead(c container) bool {
+	for _, r := range tx.vreads {
+		if r.c == c {
+			return true
+		}
+	}
+	return false
+}
+
+// validateReads checks every recorded version; false means the snapshot
+// is broken and the attempt must restart.
+//
+// Mid-execution (strict = false) the version check alone suffices for
+// opacity: a concurrent writer that committed would have bumped the
+// version at fold. At commit (strict = true) a variable owned by another
+// *active* writer also fails — otherwise two transactions that each read
+// what the other is writing could both validate before either commits and
+// both succeed (write skew across the validate/CAS window).
+func (tx *Tx) validateReads(strict bool) bool {
+	for _, r := range tx.vreads {
+		if !r.c.validate(tx, r.ver, strict) {
+			return false
+		}
+	}
+	return true
+}
+
+// validate implements container for invisible reads.
+func (v *TVar[T]) validate(tx *Tx, ver uint64, strict bool) bool {
+	v.mu.Lock()
+	v.fold()
+	ok := v.version == ver
+	if strict && v.writer != nil && v.writer != tx {
+		ok = false
+	}
+	v.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,256 @@
+package stm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+func invisibleRT(t testing.TB, name string, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New(name, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr, stm.WithInvisibleReads())
+}
+
+func TestInvisibleFlag(t *testing.T) {
+	if invisibleRT(t, "polka", 1).InvisibleReads() != true {
+		t.Error("option not applied")
+	}
+	if runtimeWith(t, "polka", 1).InvisibleReads() != false {
+		t.Error("default is not visible reads")
+	}
+}
+
+func TestInvisibleBasicReadWrite(t *testing.T) {
+	rt := invisibleRT(t, "polka", 1)
+	v := stm.NewTVar(41)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		got := stm.Read(tx, v)
+		stm.Write(tx, v, got+1)
+		if rb := stm.Read(tx, v); rb != got+1 {
+			t.Errorf("read-own-write = %d", rb)
+		}
+	})
+	if got := v.Peek(); got != 42 {
+		t.Errorf("v = %d", got)
+	}
+}
+
+func TestInvisibleRereadStable(t *testing.T) {
+	rt := invisibleRT(t, "polka", 1)
+	v := stm.NewTVar(7)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		a := stm.Read(tx, v)
+		b := stm.Read(tx, v)
+		if a != b {
+			t.Errorf("re-read changed: %d vs %d", a, b)
+		}
+	})
+}
+
+// TestInvisibleCounter: lost-update freedom still holds — writes remain
+// eager and validation kills stale readers.
+func TestInvisibleCounter(t *testing.T) {
+	for _, name := range []string{"polka", "greedy", "karma", "online-dynamic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const m, per = 8, 200
+			rt := invisibleRT(t, name, m)
+			rt.SetYieldEvery(4)
+			v := stm.NewTVar(0)
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(th *stm.Thread) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						th.Atomic(func(tx *stm.Tx) {
+							stm.Write(tx, v, stm.Read(tx, v)+1)
+						})
+					}
+				}(rt.Thread(i))
+			}
+			wg.Wait()
+			if got := v.Peek(); got != m*per {
+				t.Errorf("counter = %d, want %d", got, m*per)
+			}
+		})
+	}
+}
+
+// TestInvisibleNoWriteSkew: the strict commit validation forbids the
+// cross read-write cycle (each transaction reads the variable the other
+// writes).
+func TestInvisibleNoWriteSkew(t *testing.T) {
+	const iters = 300
+	rt := invisibleRT(t, "polka", 2)
+	rt.SetYieldEvery(2)
+	for i := 0; i < iters; i++ {
+		a, b := stm.NewTVar(1), stm.NewTVar(1)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rt.Thread(0).Atomic(func(tx *stm.Tx) {
+				if stm.Read(tx, a)+stm.Read(tx, b) >= 2 {
+					stm.Write(tx, a, 0)
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			rt.Thread(1).Atomic(func(tx *stm.Tx) {
+				if stm.Read(tx, a)+stm.Read(tx, b) >= 2 {
+					stm.Write(tx, b, 0)
+				}
+			})
+		}()
+		wg.Wait()
+		if a.Peek()+b.Peek() == 0 {
+			t.Fatalf("write skew at iteration %d", i)
+		}
+	}
+}
+
+// TestInvisibleSnapshotConsistency mirrors the visible-mode opacity smoke
+// test: two variables kept equal must never be observed differing.
+func TestInvisibleSnapshotConsistency(t *testing.T) {
+	const m = 4
+	rt := invisibleRT(t, "karma", m)
+	rt.SetYieldEvery(2)
+	a, b := stm.NewTVar(0), stm.NewTVar(0)
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					x := stm.Read(tx, a)
+					stm.Write(tx, a, x+1)
+					stm.Write(tx, b, x+1)
+				})
+			}
+		}(rt.Thread(i))
+	}
+	for i := 2; i < m; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					if stm.Read(tx, a) != stm.Read(tx, b) {
+						bad.Add(1)
+					}
+				})
+			}
+		}(rt.Thread(i))
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d inconsistent snapshots", n)
+	}
+	if a.Peek() != b.Peek() {
+		t.Error("final state inconsistent")
+	}
+}
+
+// TestInvisibleBankInvariant: transfers conserve money in invisible mode.
+func TestInvisibleBankInvariant(t *testing.T) {
+	const m, accounts, perThread, initial = 6, 16, 200, 1000
+	rt := invisibleRT(t, "polka", m)
+	rt.SetYieldEvery(4)
+	vars := make([]*stm.TVar[int], accounts)
+	for i := range vars {
+		vars[i] = stm.NewTVar(initial)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			seed := uint64(id)*2654435761 + 99
+			next := func(n int) int {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				return int((seed >> 33) % uint64(n))
+			}
+			for j := 0; j < perThread; j++ {
+				from := next(accounts)
+				to := (from + 1 + next(accounts-1)) % accounts
+				amt := next(50)
+				th.Atomic(func(tx *stm.Tx) {
+					f := stm.Read(tx, vars[from])
+					g := stm.Read(tx, vars[to])
+					stm.Write(tx, vars[from], f-amt)
+					stm.Write(tx, vars[to], g+amt)
+				})
+			}
+		}(i, rt.Thread(i))
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range vars {
+		total += v.Peek()
+	}
+	if total != accounts*initial {
+		t.Errorf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestInvisibleWriterUnseenByReaders: a writer acquiring after an
+// invisible read proceeds without consulting the manager about the reader
+// (the reader is invisible); the reader then fails validation.
+func TestInvisibleWriterUnseenByReaders(t *testing.T) {
+	rt := invisibleRT(t, "polka", 2)
+	v := stm.NewTVar(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var readerAttempts int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		rt.Thread(0).Atomic(func(tx *stm.Tx) {
+			readerAttempts++
+			stm.Read(tx, v)
+			if first {
+				first = false
+				close(started)
+				<-release // hold the attempt open while the writer commits
+			}
+			stm.Read(tx, v) // revalidates; must fail on the first attempt
+		})
+	}()
+	<-started
+	rt.Thread(1).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 2) // must not block on the invisible reader
+	})
+	close(release)
+	wg.Wait()
+	if readerAttempts < 2 {
+		t.Errorf("reader committed in %d attempts; expected a validation abort", readerAttempts)
+	}
+}

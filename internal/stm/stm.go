@@ -1,0 +1,319 @@
+// Package stm implements an eager conflict management software
+// transactional memory in the style of DSTM/DSTM2, the system the paper
+// evaluates its contention managers in.
+//
+// Properties reproduced from DSTM2 (the ones contention managers observe):
+//
+//   - Eager conflict management: conflicts are detected at open time (the
+//     first read or write of a transactional variable) and the contention
+//     manager is consulted immediately.
+//   - Visible reads: readers register on the variable, so a writer detects
+//     read-write conflicts and must resolve them before acquiring.
+//   - Clone-based (deferred) updates: a writer installs a tentative value
+//     next to the committed one; the logical value is decided by the
+//     writer's status word, so commit is a single compare-and-swap.
+//   - Remote abort: any transaction can abort an enemy with one CAS on the
+//     enemy's status; the victim discovers the abort at its next open or at
+//     commit and restarts (greedy retry).
+//
+// Transactions run inside Thread.Atomic. The user callback reads and writes
+// TVars; when the runtime detects that the current attempt has been aborted
+// it unwinds the callback with a private panic that Atomic recovers,
+// re-running the callback until it commits (the standard Go idiom for
+// non-local exits inside a package; the panic never escapes Atomic).
+package stm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// epoch anchors all timestamps; time.Since(epoch) uses the monotonic clock,
+// so Desc timestamps are totally ordered across threads.
+var epoch = time.Now()
+
+// now returns nanoseconds since the package epoch on the monotonic clock.
+func now() int64 { return int64(time.Since(epoch)) }
+
+// Now returns the runtime's monotonic timestamp (ns since an arbitrary
+// epoch), the clock Desc.Birth and Desc.AttemptStart are measured on.
+// Contention managers use it for duration arithmetic against those fields.
+func Now() int64 { return now() }
+
+// Status of one transaction attempt.
+type Status int32
+
+const (
+	// Active attempts are running and may be aborted by enemies.
+	Active Status = iota
+	// Committed attempts have taken effect atomically.
+	Committed
+	// Aborted attempts have no effect; the thread retries.
+	Aborted
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return "invalid"
+	}
+}
+
+// Desc is the persistent descriptor of one logical transaction. It survives
+// across aborted attempts, which is what lets contention managers implement
+// policies based on age (Greedy, Priority), accumulated work (Karma, Polka),
+// or scheduling state (the window managers).
+type Desc struct {
+	// ThreadID identifies the issuing thread, 0 ≤ ThreadID < M.
+	ThreadID int
+	// Seq is the 0-based index of this transaction in its thread's stream.
+	// Window managers derive the position inside the current window from it.
+	Seq int
+	// ID is unique across the runtime and used as a final tie-breaker.
+	ID uint64
+	// Birth is the time of the transaction's first attempt (ns since the
+	// package epoch). It is the static timestamp of Greedy and Priority.
+	Birth int64
+	// AttemptStart is the start time of the current attempt.
+	AttemptStart int64
+	// Attempts counts attempts so far, including the current one.
+	Attempts int
+	// Karma accumulates successfully opened objects across attempts and is
+	// reset on commit (Karma/Polka priority).
+	Karma atomic.Int64
+	// Waiting is set while the transaction is blocked inside a contention
+	// manager wait decision (Greedy consults the enemy's flag).
+	Waiting atomic.Bool
+	// Aux is a scratch word owned by the installed contention manager; the
+	// window managers pack their two-level priority vector into it.
+	Aux atomic.Uint64
+}
+
+// Tx is a single attempt of a logical transaction. A fresh Tx is allocated
+// for every attempt so that a stale enemy reference can never abort a later
+// attempt spuriously.
+type Tx struct {
+	// D is the persistent logical-transaction descriptor.
+	D      *Desc
+	rt     *Runtime
+	status atomic.Int32
+	opens  int
+	reads  []container
+	writes []container
+	vreads []vread
+}
+
+// Status returns the current status of this attempt.
+func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+
+// Abort aborts tx if it is still active. It is safe to call from any
+// goroutine: this is how contention-manager decisions kill enemies.
+// It reports whether this call performed the transition.
+func (tx *Tx) Abort() bool {
+	return tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+}
+
+// Runtime ties together M threads and a contention manager.
+type Runtime struct {
+	cm         ContentionManager
+	threads    []*Thread
+	nextID     atomic.Uint64
+	yieldEvery atomic.Int64
+	invisible  bool
+}
+
+// New creates a runtime with m threads sharing the contention manager cm.
+// Options select non-default strategies (see WithInvisibleReads).
+func New(m int, cm ContentionManager, opts ...Option) *Runtime {
+	if m <= 0 {
+		panic("stm: runtime needs at least one thread")
+	}
+	rt := &Runtime{cm: cm}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	rt.threads = make([]*Thread, m)
+	for i := range rt.threads {
+		rt.threads[i] = &Thread{rt: rt, id: i}
+	}
+	return rt
+}
+
+// InvisibleReads reports whether the runtime uses invisible reads.
+func (rt *Runtime) InvisibleReads() bool { return rt.invisible }
+
+// Threads returns the number of threads.
+func (rt *Runtime) Threads() int { return len(rt.threads) }
+
+// Thread returns thread i. Each thread must be driven by at most one
+// goroutine at a time.
+func (rt *Runtime) Thread(i int) *Thread { return rt.threads[i] }
+
+// Manager returns the installed contention manager.
+func (rt *Runtime) Manager() ContentionManager { return rt.cm }
+
+// SetYieldEvery makes every k-th open operation of each attempt yield the
+// processor (k ≤ 0 disables, the default). On machines with fewer cores
+// than threads this recreates the fine-grained interleaving — and hence
+// the transactional contention — that truly parallel hardware produces;
+// without it, transactions on a single core only overlap at coarse
+// scheduler preemption quanta and conflicts all but disappear.
+func (rt *Runtime) SetYieldEvery(k int) { rt.yieldEvery.Store(int64(k)) }
+
+// Thread issues transactions sequentially, mirroring the paper's model of a
+// thread P_i executing N transactions T_i1 … T_iN one after another.
+type Thread struct {
+	rt  *Runtime
+	id  int
+	seq int
+}
+
+// ID returns the thread index in [0, M).
+func (t *Thread) ID() int { return t.id }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// TxInfo reports what it took to commit one logical transaction.
+type TxInfo struct {
+	// Attempts is the total number of attempts (aborts = Attempts − 1).
+	Attempts int
+	// Wasted is the time spent in attempts that aborted.
+	Wasted time.Duration
+	// Duration is the response time: first attempt start to commit.
+	Duration time.Duration
+	// CommitDur is the duration of the successful attempt only.
+	CommitDur time.Duration
+}
+
+// Aborts returns the number of aborted attempts.
+func (i TxInfo) Aborts() int { return i.Attempts - 1 }
+
+// retrySignal unwinds the user callback when the current attempt must be
+// abandoned. It is recovered inside Atomic and never escapes the package.
+type retrySignal struct{}
+
+// Atomic runs fn as a transaction, retrying greedily until it commits, and
+// returns commit statistics. fn may be executed many times; it must not
+// have side effects outside TVar writes (the usual STM contract).
+func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
+	d := &Desc{
+		ThreadID: t.id,
+		Seq:      t.seq,
+		ID:       t.rt.nextID.Add(1),
+		Birth:    now(),
+	}
+	t.seq++
+	cm := t.rt.cm
+	var info TxInfo
+	for {
+		tx := &Tx{D: d, rt: t.rt}
+		d.Attempts++
+		d.AttemptStart = now()
+		info.Attempts++
+		cm.Begin(tx)
+		committed := runAttempt(tx, fn)
+		end := now()
+		if committed {
+			cm.Committed(tx)
+			info.Duration = time.Duration(end - d.Birth)
+			info.CommitDur = time.Duration(end - d.AttemptStart)
+			return info
+		}
+		// The attempt aborted: either remotely (status already Aborted) or
+		// by our own AbortSelf decision. Normalize, release everything we
+		// hold, notify the manager, and go around again.
+		tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+		tx.cleanup()
+		info.Wasted += time.Duration(end - d.AttemptStart)
+		cm.Aborted(tx)
+	}
+}
+
+// runAttempt executes fn once and tries to commit, converting the internal
+// retry panic into a false return.
+func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(retrySignal); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+// commit atomically makes the attempt's writes take effect. With
+// invisible reads the read set is validated first; writes are eagerly
+// owned, so a successful validation followed by the status CAS is a
+// correct serialization point (see invisible.go).
+func (tx *Tx) commit() bool {
+	if tx.rt.invisible && !tx.validateReads(true) {
+		tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+		return false
+	}
+	if !tx.status.CompareAndSwap(int32(Active), int32(Committed)) {
+		return false
+	}
+	tx.cleanup()
+	return true
+}
+
+// cleanup releases ownerships and reader registrations after the attempt
+// has terminated (either way). Terminated owners are also folded lazily by
+// later accessors, so cleanup is an optimization plus garbage control, not
+// a correctness requirement — except that it bounds reader-set growth.
+func (tx *Tx) cleanup() {
+	for _, c := range tx.writes {
+		c.release(tx)
+	}
+	for _, c := range tx.reads {
+		c.dropReader(tx)
+	}
+	tx.writes = tx.writes[:0]
+	tx.reads = tx.reads[:0]
+	tx.vreads = tx.vreads[:0]
+}
+
+// selfAbort marks the attempt aborted and unwinds the callback.
+func (tx *Tx) selfAbort() {
+	tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+	panic(retrySignal{})
+}
+
+// checkAlive unwinds if an enemy aborted this attempt.
+func (tx *Tx) checkAlive() {
+	if tx.Status() != Active {
+		panic(retrySignal{})
+	}
+}
+
+// resolve consults the contention manager about enemy and carries out the
+// decision. attempt counts consecutive resolutions within one open
+// operation, which Polka-style managers use as their backoff round.
+// resolve must be called without holding any variable lock.
+func (tx *Tx) resolve(enemy *Tx, kind Kind, attempt *int) {
+	*attempt++
+	dec, wait := tx.rt.cm.Resolve(tx, enemy, kind, *attempt)
+	switch dec {
+	case AbortEnemy:
+		enemy.Abort()
+	case AbortSelf:
+		tx.selfAbort()
+	case Wait:
+		tx.D.Waiting.Store(true)
+		waitFor(wait)
+		tx.D.Waiting.Store(false)
+		tx.checkAlive()
+	}
+}

@@ -1,0 +1,381 @@
+package stm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+func runtimeWith(t testing.TB, name string, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New(name, m)
+	if err != nil {
+		t.Fatalf("cm.New(%q): %v", name, err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestSingleThreadReadWrite(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	v := stm.NewTVar(41)
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		got := stm.Read(tx, v)
+		stm.Write(tx, v, got+1)
+		if rb := stm.Read(tx, v); rb != got+1 {
+			t.Errorf("read-own-write: got %d, want %d", rb, got+1)
+		}
+	})
+	if got := v.Peek(); got != 42 {
+		t.Errorf("after commit: got %d, want 42", got)
+	}
+	if info.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", info.Attempts)
+	}
+	if info.Aborts() != 0 {
+		t.Errorf("aborts = %d, want 0", info.Aborts())
+	}
+}
+
+func TestZeroTVarUsable(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	var v stm.TVar[string]
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		if got := stm.Read(tx, &v); got != "" {
+			t.Errorf("zero TVar read %q, want empty", got)
+		}
+		stm.Write(tx, &v, "hello")
+	})
+	if got := v.Peek(); got != "hello" {
+		t.Errorf("got %q, want hello", got)
+	}
+}
+
+func TestPeekSet(t *testing.T) {
+	v := stm.NewTVar(7)
+	if got := v.Peek(); got != 7 {
+		t.Fatalf("Peek = %d, want 7", got)
+	}
+	v.Set(9)
+	if got := v.Peek(); got != 9 {
+		t.Fatalf("Peek after Set = %d, want 9", got)
+	}
+}
+
+func TestModify(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	v := stm.NewTVar(10)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Modify(tx, v, func(x int) int { return x * 3 })
+	})
+	if got := v.Peek(); got != 30 {
+		t.Errorf("got %d, want 30", got)
+	}
+}
+
+func TestAbortedWritesDiscarded(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	v := stm.NewTVar(1)
+	aborted := false
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 99)
+		if !aborted {
+			aborted = true
+			tx.Abort() // simulate a remote abort mid-flight
+		}
+		stm.Write(tx, v, 100) // detects abort on second attempt path only
+	})
+	if got := v.Peek(); got != 100 {
+		t.Errorf("got %d, want 100 (second attempt's value)", got)
+	}
+}
+
+// TestAtomicCounter checks that concurrent increments are never lost.
+func TestAtomicCounter(t *testing.T) {
+	// Timid is excluded: always-abort-self livelocks on symmetric
+	// read-modify-write workloads (that is the point of better managers).
+	for _, name := range []string{"aggressive", "polite", "backoff", "karma", "polka", "greedy", "priority", "timestamp"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const m, perThread = 8, 200
+			rt := runtimeWith(t, name, m)
+			v := stm.NewTVar(0)
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(th *stm.Thread) {
+					defer wg.Done()
+					for j := 0; j < perThread; j++ {
+						th.Atomic(func(tx *stm.Tx) {
+							stm.Write(tx, v, stm.Read(tx, v)+1)
+						})
+					}
+				}(rt.Thread(i))
+			}
+			wg.Wait()
+			if got := v.Peek(); got != m*perThread {
+				t.Errorf("counter = %d, want %d", got, m*perThread)
+			}
+		})
+	}
+}
+
+// TestBankInvariant runs random transfers between accounts and checks the
+// total is conserved — the classic atomicity test.
+func TestBankInvariant(t *testing.T) {
+	const m, accounts, perThread, initial = 6, 16, 300, 1000
+	rt := runtimeWith(t, "polka", m)
+	vars := make([]*stm.TVar[int], accounts)
+	for i := range vars {
+		vars[i] = stm.NewTVar(initial)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			seed := uint64(id)*2654435761 + 12345
+			next := func(n int) int {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				return int((seed >> 33) % uint64(n))
+			}
+			for j := 0; j < perThread; j++ {
+				from := next(accounts)
+				to := (from + 1 + next(accounts-1)) % accounts // always distinct
+				amt := next(50)
+				th.Atomic(func(tx *stm.Tx) {
+					f := stm.Read(tx, vars[from])
+					g := stm.Read(tx, vars[to])
+					stm.Write(tx, vars[from], f-amt)
+					stm.Write(tx, vars[to], g+amt)
+				})
+			}
+		}(i, rt.Thread(i))
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range vars {
+		total += v.Peek()
+	}
+	if total != accounts*initial {
+		t.Errorf("total = %d, want %d (money not conserved)", total, accounts*initial)
+	}
+}
+
+// TestSnapshotConsistency keeps two variables equal under writers and
+// checks that readers never observe them differing — an opacity smoke test
+// (doomed transactions must not see mixed states either; a violation here
+// would typically surface as a failed equality inside a committed read).
+func TestSnapshotConsistency(t *testing.T) {
+	const m = 4
+	rt := runtimeWith(t, "karma", m)
+	a, b := stm.NewTVar(0), stm.NewTVar(0)
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	// Writers keep a == b.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for n := 1; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					x := stm.Read(tx, a)
+					stm.Write(tx, a, x+1)
+					stm.Write(tx, b, x+1)
+				})
+			}
+		}(rt.Thread(i))
+	}
+	// Readers check a == b inside transactions.
+	for i := 2; i < m; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					x := stm.Read(tx, a)
+					y := stm.Read(tx, b)
+					if x != y {
+						bad.Add(1)
+					}
+				})
+			}
+		}(rt.Thread(i))
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("observed %d inconsistent snapshots", n)
+	}
+	if av, bv := a.Peek(), b.Peek(); av != bv {
+		t.Errorf("final state inconsistent: a=%d b=%d", av, bv)
+	}
+}
+
+func TestTxInfoCountsAborts(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	v := stm.NewTVar(0)
+	tries := 0
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		tries++
+		stm.Write(tx, v, tries)
+		if tries < 3 {
+			tx.Abort()
+			stm.Read(tx, v) // next open notices the abort and unwinds
+			t.Error("read after self-abort should have unwound")
+		}
+	})
+	if info.Attempts != 3 || info.Aborts() != 2 {
+		t.Errorf("info = %+v, want 3 attempts / 2 aborts", info)
+	}
+	if info.Duration < info.CommitDur {
+		t.Errorf("duration %v < commit duration %v", info.Duration, info.CommitDur)
+	}
+}
+
+func TestRemoteAbortOnlyHitsActiveAttempt(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	var captured *stm.Tx
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { captured = tx })
+	if captured.Status() != stm.Committed {
+		t.Fatalf("status = %v, want committed", captured.Status())
+	}
+	if captured.Abort() {
+		t.Error("Abort succeeded on a committed attempt")
+	}
+	if captured.Status() != stm.Committed {
+		t.Errorf("status changed to %v", captured.Status())
+	}
+}
+
+func TestStatusAndKindStrings(t *testing.T) {
+	cases := map[string]string{
+		stm.Active.String():     "active",
+		stm.Committed.String():  "committed",
+		stm.Aborted.String():    "aborted",
+		stm.Status(99).String(): "invalid",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if stm.WriteWrite.String() != "write-write" || stm.WriteRead.String() != "write-read" || stm.ReadWrite.String() != "read-write" {
+		t.Error("Kind strings wrong")
+	}
+	if stm.Kind(9).String() != "invalid" {
+		t.Error("invalid Kind string wrong")
+	}
+	if stm.AbortEnemy.String() != "abort-enemy" || stm.AbortSelf.String() != "abort-self" || stm.Wait.String() != "wait" {
+		t.Error("Decision strings wrong")
+	}
+	if stm.Decision(9).String() != "invalid" {
+		t.Error("invalid Decision string wrong")
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	mgr, _ := cm.New("greedy", 3)
+	rt := stm.New(3, mgr)
+	if rt.Threads() != 3 {
+		t.Errorf("Threads = %d, want 3", rt.Threads())
+	}
+	if rt.Manager() != mgr {
+		t.Error("Manager() did not return the installed manager")
+	}
+	for i := 0; i < 3; i++ {
+		if rt.Thread(i).ID() != i {
+			t.Errorf("thread %d has ID %d", i, rt.Thread(i).ID())
+		}
+		if rt.Thread(i).Runtime() != rt {
+			t.Error("thread Runtime() mismatch")
+		}
+	}
+}
+
+func TestNewPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, ...) did not panic")
+		}
+	}()
+	stm.New(0, cm.Aggressive{})
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 1)
+	defer func() {
+		if r := recover(); r != "user panic" {
+			t.Errorf("recovered %v, want user panic", r)
+		}
+	}()
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { panic("user panic") })
+}
+
+// TestDescFieldsStable checks the identity fields a CM depends on.
+func TestDescFieldsStable(t *testing.T) {
+	rt := runtimeWith(t, "aggressive", 2)
+	var d0, d1 *stm.Desc
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { d0 = tx.D })
+	rt.Thread(0).Atomic(func(tx *stm.Tx) { d1 = tx.D })
+	if d0.ThreadID != 0 || d1.ThreadID != 0 {
+		t.Errorf("thread IDs = %d,%d, want 0,0", d0.ThreadID, d1.ThreadID)
+	}
+	if d0.Seq != 0 || d1.Seq != 1 {
+		t.Errorf("seqs = %d,%d, want 0,1", d0.Seq, d1.Seq)
+	}
+	if d0.ID == d1.ID {
+		t.Error("descriptor IDs not unique")
+	}
+	if d0.Birth > d1.Birth {
+		t.Error("births not monotone within a thread")
+	}
+}
+
+// TestWriteSkew documents that this STM (visible reads, eager acquire)
+// forbids write skew: two transactions reading each other's write targets
+// conflict and serialize.
+func TestWriteSkew(t *testing.T) {
+	const iters = 200
+	rt := runtimeWith(t, "polka", 2)
+	for i := 0; i < iters; i++ {
+		a, b := stm.NewTVar(1), stm.NewTVar(1)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rt.Thread(0).Atomic(func(tx *stm.Tx) {
+				if stm.Read(tx, a)+stm.Read(tx, b) >= 2 {
+					stm.Write(tx, a, 0)
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			rt.Thread(1).Atomic(func(tx *stm.Tx) {
+				if stm.Read(tx, a)+stm.Read(tx, b) >= 2 {
+					stm.Write(tx, b, 0)
+				}
+			})
+		}()
+		wg.Wait()
+		if a.Peek()+b.Peek() == 0 {
+			t.Fatalf("write skew: both decremented at iteration %d", i)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// container is the type-erased view of a *TVar[T] that attempt cleanup
+// and invisible-read validation use; it keeps Tx free of type parameters.
+type container interface {
+	release(tx *Tx)
+	dropReader(tx *Tx)
+	validate(tx *Tx, ver uint64, strict bool) bool
+}
+
+// TVar is a transactional variable holding a value of type T. Values are
+// copied in and out, so T should be a value type or an immutable snapshot
+// (benchmark data structures store small node structs and build linkage
+// with *TVar pointers, which are stable identities).
+//
+// The representation is the DSTM locator collapsed into the variable:
+// val is the last committed value; while writer is an active attempt,
+// pending is its tentative value and the logical value is decided by the
+// writer's status word. fold collapses a terminated writer.
+type TVar[T any] struct {
+	mu      sync.Mutex
+	val     T
+	pending T
+	version uint64 // bumped each time a writer's commit folds in
+	writer  *Tx
+	readers map[*Tx]struct{}
+}
+
+// NewTVar returns a variable initialized to v. The zero TVar holds the
+// zero value of T and is also ready to use.
+func NewTVar[T any](v T) *TVar[T] {
+	return &TVar[T]{val: v}
+}
+
+// Peek returns the current committed value without a transaction. It is
+// linearizable on its own but provides no consistency across multiple
+// Peeks; tests and verification code use it between runs.
+func (v *TVar[T]) Peek() T {
+	v.mu.Lock()
+	v.fold()
+	val := v.val
+	v.mu.Unlock()
+	return val
+}
+
+// Set stores a committed value without a transaction. It must only be used
+// while no transactions are running (e.g. populating a benchmark).
+func (v *TVar[T]) Set(val T) {
+	v.mu.Lock()
+	v.fold()
+	v.val = val
+	v.version++
+	v.mu.Unlock()
+}
+
+// fold collapses a terminated writer into the committed value.
+// Callers must hold v.mu.
+func (v *TVar[T]) fold() {
+	if v.writer == nil {
+		return
+	}
+	switch v.writer.Status() {
+	case Committed:
+		v.val = v.pending
+		v.version++
+	case Active:
+		return
+	}
+	var zero T
+	v.pending = zero
+	v.writer = nil
+}
+
+// release folds the variable if tx owns it (post-termination cleanup).
+func (v *TVar[T]) release(tx *Tx) {
+	v.mu.Lock()
+	if v.writer == tx {
+		v.fold()
+	}
+	v.mu.Unlock()
+}
+
+// dropReader removes tx from the reader set.
+func (v *TVar[T]) dropReader(tx *Tx) {
+	v.mu.Lock()
+	delete(v.readers, tx)
+	v.mu.Unlock()
+}
+
+// Read opens v for reading inside tx and returns its value. The read is
+// visible: tx registers in the reader set so later writers conflict with
+// it. If tx has written v, Read returns the tentative value.
+//
+// Opacity: the value returned is always the latest committed value at a
+// moment when tx was still active, and any transaction that later writes v
+// must first resolve against tx, so no attempt ever observes state from
+// two different commit orders.
+func Read[T any](tx *Tx, v *TVar[T]) T {
+	if tx.rt.invisible {
+		return readInvisible(tx, v)
+	}
+	tx.maybeYield()
+	attempt := 0
+	for {
+		tx.checkAlive()
+		v.mu.Lock()
+		v.fold()
+		if w := v.writer; w != nil && w != tx {
+			v.mu.Unlock()
+			tx.resolve(w, ReadWrite, &attempt)
+			continue
+		}
+		if tx.Status() != Active {
+			v.mu.Unlock()
+			panic(retrySignal{})
+		}
+		var val T
+		opened := false
+		if v.writer == tx {
+			val = v.pending
+		} else {
+			val = v.val
+			if _, ok := v.readers[tx]; !ok {
+				if v.readers == nil {
+					v.readers = make(map[*Tx]struct{}, 2)
+				}
+				v.readers[tx] = struct{}{}
+				tx.reads = append(tx.reads, v)
+				opened = true
+			}
+		}
+		v.mu.Unlock()
+		if opened {
+			tx.rt.cm.Opened(tx)
+		}
+		return val
+	}
+}
+
+// Write opens v for writing inside tx and installs val as the tentative
+// value. Acquisition is eager: all write-write and write-read conflicts are
+// resolved before the ownership is taken.
+func Write[T any](tx *Tx, v *TVar[T], val T) {
+	tx.maybeYield()
+	attempt := 0
+	for {
+		tx.checkAlive()
+		v.mu.Lock()
+		v.fold()
+		if w := v.writer; w != nil && w != tx {
+			v.mu.Unlock()
+			tx.resolve(w, WriteWrite, &attempt)
+			continue
+		}
+		// Resolve visible readers other than ourselves; clean dead ones.
+		var enemy *Tx
+		for r := range v.readers {
+			if r == tx {
+				continue
+			}
+			if r.Status() == Active {
+				enemy = r
+				break
+			}
+			delete(v.readers, r)
+		}
+		if enemy != nil {
+			v.mu.Unlock()
+			tx.resolve(enemy, WriteRead, &attempt)
+			continue
+		}
+		if tx.Status() != Active {
+			v.mu.Unlock()
+			panic(retrySignal{})
+		}
+		opened := false
+		if v.writer != tx {
+			v.writer = tx
+			tx.writes = append(tx.writes, v)
+			opened = true
+		}
+		v.pending = val
+		v.mu.Unlock()
+		if opened {
+			tx.rt.cm.Opened(tx)
+		}
+		return
+	}
+}
+
+// Modify reads v and writes f(current) back, as one open-for-write.
+func Modify[T any](tx *Tx, v *TVar[T], f func(T) T) {
+	cur := Read(tx, v)
+	Write(tx, v, f(cur))
+}
+
+// maybeYield implements the runtime's interleaving knob (SetYieldEvery):
+// every k-th open yields the processor. It runs before any variable lock
+// is taken.
+func (tx *Tx) maybeYield() {
+	k := tx.rt.yieldEvery.Load()
+	if k <= 0 {
+		return
+	}
+	tx.opens++
+	if int64(tx.opens)%k == 0 {
+		runtime.Gosched()
+	}
+}
+
+// spinThreshold is the wait length below which waitFor spins (yielding the
+// processor) instead of sleeping; time.Sleep cannot resolve microseconds.
+const spinThreshold = 50 * time.Microsecond
+
+// waitFor blocks the calling goroutine for roughly d.
+func waitFor(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	if d <= spinThreshold {
+		deadline := now() + int64(d)
+		for now() < deadline {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(d)
+}

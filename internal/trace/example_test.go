@@ -1,0 +1,23 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/trace"
+)
+
+// Example wraps a manager, runs a transaction, and inspects the recorded
+// lifecycle.
+func Example() {
+	tr := trace.Wrap(cm.NewGreedy())
+	rt := stm.New(1, tr)
+	v := stm.NewTVar(0)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+	})
+	counts := tr.Counts()
+	fmt.Println(counts[trace.Begin], counts[trace.Commit], counts[trace.Abort])
+	// Output: 1 1 0
+}

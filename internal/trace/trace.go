@@ -1,0 +1,263 @@
+// Package trace records per-transaction event timelines by wrapping any
+// contention manager. It is how the repository's experiments were
+// debugged and is exposed for downstream users studying scheduler
+// behaviour: wrap the manager, run the workload, then export the events
+// as CSV or render an ASCII thread-by-time chart of commits and aborts.
+//
+//	tr := trace.Wrap(core.New(core.OnlineDynamic, m))
+//	rt := stm.New(m, tr)
+//	... run ...
+//	tr.WriteCSV(f)
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// EventKind labels one recorded event.
+type EventKind int
+
+const (
+	// Begin marks an attempt start.
+	Begin EventKind = iota
+	// Commit marks a successful attempt.
+	Commit
+	// Abort marks an aborted attempt.
+	Abort
+	// Conflict marks one Resolve consultation.
+	Conflict
+)
+
+// String returns the event name.
+func (k EventKind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	case Conflict:
+		return "conflict"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// At is the time since the tracer was created.
+	At time.Duration
+	// Thread and Seq identify the logical transaction.
+	Thread, Seq int
+	// Attempt is the attempt number within the transaction (from 1).
+	Attempt int
+	// Kind is what happened.
+	Kind EventKind
+	// Enemy is the conflicting thread for Conflict events, else -1.
+	Enemy int
+	// Decision is the manager's decision for Conflict events.
+	Decision stm.Decision
+}
+
+// Manager wraps an inner contention manager and records its lifecycle.
+// Recording is mutex-serialized; wrap only for debugging and analysis
+// runs, not for throughput measurements.
+type Manager struct {
+	inner stm.ContentionManager
+	start time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ stm.ContentionManager = (*Manager)(nil)
+
+// Wrap returns a tracing manager around inner.
+func Wrap(inner stm.ContentionManager) *Manager {
+	return &Manager{inner: inner, start: time.Now()}
+}
+
+// record appends one event.
+func (m *Manager) record(e Event) {
+	e.At = time.Since(m.start)
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Begin implements stm.ContentionManager.
+func (m *Manager) Begin(tx *stm.Tx) {
+	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Begin, Enemy: -1})
+	m.inner.Begin(tx)
+}
+
+// Committed implements stm.ContentionManager.
+func (m *Manager) Committed(tx *stm.Tx) {
+	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Commit, Enemy: -1})
+	m.inner.Committed(tx)
+}
+
+// Aborted implements stm.ContentionManager.
+func (m *Manager) Aborted(tx *stm.Tx) {
+	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Abort, Enemy: -1})
+	m.inner.Aborted(tx)
+}
+
+// Opened implements stm.ContentionManager (not traced: too hot).
+func (m *Manager) Opened(tx *stm.Tx) { m.inner.Opened(tx) }
+
+// Resolve implements stm.ContentionManager.
+func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	dec, wait := m.inner.Resolve(tx, enemy, kind, attempt)
+	m.record(Event{
+		Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts,
+		Kind: Conflict, Enemy: enemy.D.ThreadID, Decision: dec,
+	})
+	return dec, wait
+}
+
+// Events returns a copy of everything recorded so far.
+func (m *Manager) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Reset discards recorded events.
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	m.events = m.events[:0]
+	m.mu.Unlock()
+}
+
+// Counts returns the number of events per kind.
+func (m *Manager) Counts() map[EventKind]int {
+	out := map[EventKind]int{}
+	m.mu.Lock()
+	for _, e := range m.events {
+		out[e.Kind]++
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// WriteCSV exports the events as CSV with a header row.
+func (m *Manager) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_ns,thread,seq,attempt,kind,enemy,decision"); err != nil {
+		return err
+	}
+	for _, e := range m.Events() {
+		dec := ""
+		if e.Kind == Conflict {
+			dec = e.Decision.String()
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%d,%s\n",
+			e.At.Nanoseconds(), e.Thread, e.Seq, e.Attempt, e.Kind, e.Enemy, dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline renders an ASCII chart: one row per thread, one column per
+// time bucket; each cell shows what dominated the bucket — commits (•),
+// aborts (x), conflicts (~) or nothing (space).
+func (m *Manager) Timeline(w io.Writer, buckets int) error {
+	events := m.Events()
+	if len(events) == 0 || buckets <= 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	maxAt := time.Duration(0)
+	maxThread := 0
+	for _, e := range events {
+		if e.At > maxAt {
+			maxAt = e.At
+		}
+		if e.Thread > maxThread {
+			maxThread = e.Thread
+		}
+	}
+	span := maxAt + 1
+	type cellCount struct{ commits, aborts, conflicts int }
+	grid := make([][]cellCount, maxThread+1)
+	for i := range grid {
+		grid[i] = make([]cellCount, buckets)
+	}
+	for _, e := range events {
+		b := int(int64(e.At) * int64(buckets) / int64(span))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		c := &grid[e.Thread][b]
+		switch e.Kind {
+		case Commit:
+			c.commits++
+		case Abort:
+			c.aborts++
+		case Conflict:
+			c.conflicts++
+		}
+	}
+	for th := range grid {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "T%02d |", th)
+		for _, c := range grid[th] {
+			switch {
+			case c.aborts > c.commits:
+				sb.WriteByte('x')
+			case c.commits > 0:
+				sb.WriteByte('*')
+			case c.conflicts > 0:
+				sb.WriteByte('~')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('|')
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AbortsByPair aggregates conflicts by (attacker, enemy) thread pair,
+// most frequent first — a quick view of who fights whom.
+func (m *Manager) AbortsByPair() []PairCount {
+	counts := map[[2]int]int{}
+	m.mu.Lock()
+	for _, e := range m.events {
+		if e.Kind == Conflict {
+			counts[[2]int{e.Thread, e.Enemy}]++
+		}
+	}
+	m.mu.Unlock()
+	out := make([]PairCount, 0, len(counts))
+	for pair, n := range counts {
+		out = append(out, PairCount{Attacker: pair[0], Enemy: pair[1], Conflicts: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Conflicts != out[j].Conflicts {
+			return out[i].Conflicts > out[j].Conflicts
+		}
+		if out[i].Attacker != out[j].Attacker {
+			return out[i].Attacker < out[j].Attacker
+		}
+		return out[i].Enemy < out[j].Enemy
+	})
+	return out
+}
+
+// PairCount is one (attacker, enemy) conflict tally.
+type PairCount struct {
+	Attacker, Enemy, Conflicts int
+}

@@ -1,0 +1,150 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/trace"
+)
+
+// run performs a small contended workload under a traced manager.
+func run(t *testing.T, threads, perThread int) *trace.Manager {
+	t.Helper()
+	tr := trace.Wrap(cm.NewPolka())
+	rt := stm.New(threads, tr)
+	rt.SetYieldEvery(2)
+	v := stm.NewTVar(0)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for j := 0; j < perThread; j++ {
+				th.Atomic(func(tx *stm.Tx) {
+					stm.Write(tx, v, stm.Read(tx, v)+1)
+				})
+			}
+		}(rt.Thread(i))
+	}
+	wg.Wait()
+	if got := v.Peek(); got != threads*perThread {
+		t.Fatalf("counter = %d", got)
+	}
+	return tr
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if trace.Begin.String() != "begin" || trace.Commit.String() != "commit" ||
+		trace.Abort.String() != "abort" || trace.Conflict.String() != "conflict" {
+		t.Error("event names wrong")
+	}
+	if trace.EventKind(9).String() != "invalid" {
+		t.Error("invalid event name wrong")
+	}
+}
+
+func TestRecordsLifecycle(t *testing.T) {
+	const threads, per = 4, 50
+	tr := run(t, threads, per)
+	counts := tr.Counts()
+	if counts[trace.Commit] != threads*per {
+		t.Errorf("commits = %d, want %d", counts[trace.Commit], threads*per)
+	}
+	if counts[trace.Begin] < counts[trace.Commit] {
+		t.Error("fewer begins than commits")
+	}
+	if counts[trace.Begin] != counts[trace.Commit]+counts[trace.Abort] {
+		t.Errorf("begins %d ≠ commits %d + aborts %d",
+			counts[trace.Begin], counts[trace.Commit], counts[trace.Abort])
+	}
+	events := tr.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events not time-ordered")
+		}
+	}
+	for _, e := range events {
+		if e.Thread < 0 || e.Thread >= threads {
+			t.Fatalf("event thread %d out of range", e.Thread)
+		}
+		if e.Kind == trace.Conflict && (e.Enemy < 0 || e.Enemy >= threads) {
+			t.Fatalf("conflict enemy %d out of range", e.Enemy)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tr := run(t, 2, 20)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "at_ns,thread,seq,attempt,kind,enemy,decision" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines)-1 != len(tr.Events()) {
+		t.Errorf("%d rows for %d events", len(lines)-1, len(tr.Events()))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := run(t, 3, 30)
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d timeline rows, want 3", len(lines))
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("timeline shows no commits")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tr := trace.Wrap(cm.Aggressive{})
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no events") {
+		t.Errorf("empty timeline = %q", buf.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := run(t, 2, 10)
+	if len(tr.Events()) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Error("reset kept events")
+	}
+}
+
+func TestAbortsByPair(t *testing.T) {
+	tr := run(t, 4, 100)
+	pairs := tr.AbortsByPair()
+	total := 0
+	for _, p := range pairs {
+		if p.Attacker == p.Enemy {
+			t.Errorf("self-conflict recorded: %+v", p)
+		}
+		total += p.Conflicts
+	}
+	if total != tr.Counts()[trace.Conflict] {
+		t.Errorf("pair total %d ≠ conflict count %d", total, tr.Counts()[trace.Conflict])
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Conflicts > pairs[i-1].Conflicts {
+			t.Error("pairs not sorted by frequency")
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package txhash_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/txhash"
+)
+
+// Example shows transactional map operations.
+func Example() {
+	rt := stm.New(1, cm.NewPolka())
+	m := txhash.New[int](16)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		m.Insert(tx, "acgt", 1)
+		m.Put(tx, "acgt", 2)
+		v, ok := m.Get(tx, "acgt")
+		fmt.Println(v, ok, m.Len(tx))
+	})
+	// Output: 2 true 1
+}

@@ -1,0 +1,161 @@
+// Package txhash provides a transactional chained hash map with string
+// keys over the STM. The genome extension benchmark uses it to
+// deduplicate DNA segments (STAMP genome phase 1 does the same with a
+// concurrent hashtable), and it doubles as a fourth set-style workload
+// with O(1) transactions — the opposite contention profile of List.
+//
+// Buckets are fixed at construction; each bucket is a chain of immutable
+// entries linked through transactional pointer cells, the same cell
+// pattern as the List benchmark, so conflicts are per-bucket-chain hop.
+package txhash
+
+import (
+	"wincm/internal/stm"
+)
+
+// entry is one immutable chain node: key and value never change after
+// insertion; next is a transactional cell.
+type entry[V any] struct {
+	key  string
+	val  *stm.TVar[V]
+	next *stm.TVar[*entry[V]]
+}
+
+// Map is a transactional hash map from string keys to V values.
+type Map[V any] struct {
+	buckets []*stm.TVar[*entry[V]]
+}
+
+// New returns a map with the given bucket count (rounded up to 1).
+func New[V any](buckets int) *Map[V] {
+	if buckets < 1 {
+		buckets = 1
+	}
+	m := &Map[V]{buckets: make([]*stm.TVar[*entry[V]], buckets)}
+	for i := range m.buckets {
+		m.buckets[i] = stm.NewTVar[*entry[V]](nil)
+	}
+	return m
+}
+
+// Buckets returns the bucket count.
+func (m *Map[V]) Buckets() int { return len(m.buckets) }
+
+// fnv1a hashes key (FNV-1a, the stdlib algorithm, inlined to keep the
+// hot path allocation-free).
+func fnv1a(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// bucket returns the chain head cell for key.
+func (m *Map[V]) bucket(key string) *stm.TVar[*entry[V]] {
+	return m.buckets[fnv1a(key)%uint64(len(m.buckets))]
+}
+
+// lookup walks key's chain and returns its entry, or nil.
+func (m *Map[V]) lookup(tx *stm.Tx, key string) *entry[V] {
+	for e := stm.Read(tx, m.bucket(key)); e != nil; e = stm.Read(tx, e.next) {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is present.
+func (m *Map[V]) Contains(tx *stm.Tx, key string) bool {
+	return m.lookup(tx, key) != nil
+}
+
+// Get returns the value bound to key.
+func (m *Map[V]) Get(tx *stm.Tx, key string) (V, bool) {
+	if e := m.lookup(tx, key); e != nil {
+		return stm.Read(tx, e.val), true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert binds key→val and reports true, or returns false when key is
+// already present (the existing binding is untouched).
+func (m *Map[V]) Insert(tx *stm.Tx, key string, val V) bool {
+	head := m.bucket(key)
+	if m.lookup(tx, key) != nil {
+		return false
+	}
+	first := stm.Read(tx, head)
+	e := &entry[V]{key: key, val: stm.NewTVar(val), next: stm.NewTVar(first)}
+	stm.Write(tx, head, e)
+	return true
+}
+
+// Put binds key→val, overwriting any existing binding; it reports whether
+// the key was new.
+func (m *Map[V]) Put(tx *stm.Tx, key string, val V) bool {
+	if e := m.lookup(tx, key); e != nil {
+		stm.Write(tx, e.val, val)
+		return false
+	}
+	return m.Insert(tx, key, val)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[V]) Delete(tx *stm.Tx, key string) bool {
+	head := m.bucket(key)
+	prev := head
+	for {
+		e := stm.Read(tx, prev)
+		if e == nil {
+			return false
+		}
+		if e.key == key {
+			stm.Write(tx, prev, stm.Read(tx, e.next))
+			return true
+		}
+		prev = e.next
+	}
+}
+
+// Len counts the bindings transactionally (O(buckets + entries)).
+func (m *Map[V]) Len(tx *stm.Tx) int {
+	n := 0
+	for _, b := range m.buckets {
+		for e := stm.Read(tx, b); e != nil; e = stm.Read(tx, e.next) {
+			n++
+		}
+	}
+	return n
+}
+
+// PeekGet looks key up non-transactionally; call only while no
+// transactions run (phase barriers, verification).
+func (m *Map[V]) PeekGet(key string) (V, bool) {
+	for e := m.bucket(key).Peek(); e != nil; e = e.next.Peek() {
+		if e.key == key {
+			return e.val.Peek(), true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Keys returns every key, unordered, read non-transactionally; call only
+// while no transactions run.
+func (m *Map[V]) Keys() []string {
+	var out []string
+	for _, b := range m.buckets {
+		for e := b.Peek(); e != nil; e = e.next.Peek() {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package txhash_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txhash"
+)
+
+func newRT(t testing.TB, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New("polka", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestBasicOps(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	m := txhash.New[int](16)
+	th.Atomic(func(tx *stm.Tx) {
+		if m.Contains(tx, "a") {
+			t.Error("empty map contains a")
+		}
+		if !m.Insert(tx, "a", 1) {
+			t.Error("insert failed")
+		}
+		if m.Insert(tx, "a", 2) {
+			t.Error("duplicate insert succeeded")
+		}
+		if v, ok := m.Get(tx, "a"); !ok || v != 1 {
+			t.Errorf("Get = %d,%v", v, ok)
+		}
+		if m.Put(tx, "a", 3) {
+			t.Error("Put on existing reported new")
+		}
+		if v, _ := m.Get(tx, "a"); v != 3 {
+			t.Errorf("after Put: %d", v)
+		}
+		if !m.Put(tx, "b", 9) {
+			t.Error("Put on fresh key reported existing")
+		}
+		if m.Len(tx) != 2 {
+			t.Errorf("Len = %d", m.Len(tx))
+		}
+		if !m.Delete(tx, "a") {
+			t.Error("delete failed")
+		}
+		if m.Delete(tx, "a") {
+			t.Error("double delete succeeded")
+		}
+		if m.Len(tx) != 1 {
+			t.Errorf("Len after delete = %d", m.Len(tx))
+		}
+	})
+	keys := m.Keys()
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestSingleBucketChains(t *testing.T) {
+	// Bucket count 1 forces every key through one chain: exercises chain
+	// traversal, middle deletion, and head deletion.
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	m := txhash.New[int](0) // rounds up to 1
+	if m.Buckets() != 1 {
+		t.Fatalf("Buckets = %d", m.Buckets())
+	}
+	th.Atomic(func(tx *stm.Tx) {
+		for i := 0; i < 10; i++ {
+			m.Insert(tx, fmt.Sprintf("k%d", i), i)
+		}
+	})
+	th.Atomic(func(tx *stm.Tx) {
+		if !m.Delete(tx, "k5") { // middle
+			t.Error("middle delete failed")
+		}
+		if !m.Delete(tx, "k9") { // head (most recent insert)
+			t.Error("head delete failed")
+		}
+		if !m.Delete(tx, "k0") { // tail
+			t.Error("tail delete failed")
+		}
+		if m.Len(tx) != 7 {
+			t.Errorf("Len = %d", m.Len(tx))
+		}
+		for i := 0; i < 10; i++ {
+			want := i != 5 && i != 9 && i != 0
+			if got := m.Contains(tx, fmt.Sprintf("k%d", i)); got != want {
+				t.Errorf("Contains(k%d) = %v", i, got)
+			}
+		}
+	})
+}
+
+// TestOracle mirrors random operations into a Go map.
+func TestOracle(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	m := txhash.New[int](8)
+	oracle := map[string]int{}
+	r := rng.New(11)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%d", r.Intn(64))
+		val := r.Intn(1000)
+		switch r.Intn(4) {
+		case 0:
+			var got bool
+			th.Atomic(func(tx *stm.Tx) { got = m.Insert(tx, key, val) })
+			_, had := oracle[key]
+			if got == had {
+				t.Fatalf("op %d: Insert(%s)=%v, had=%v", i, key, got, had)
+			}
+			if !had {
+				oracle[key] = val
+			}
+		case 1:
+			th.Atomic(func(tx *stm.Tx) { m.Put(tx, key, val) })
+			oracle[key] = val
+		case 2:
+			var got bool
+			th.Atomic(func(tx *stm.Tx) { got = m.Delete(tx, key) })
+			if _, had := oracle[key]; got != had {
+				t.Fatalf("op %d: Delete(%s)=%v, had=%v", i, key, got, had)
+			}
+			delete(oracle, key)
+		case 3:
+			var got int
+			var ok bool
+			th.Atomic(func(tx *stm.Tx) { got, ok = m.Get(tx, key) })
+			want, had := oracle[key]
+			if ok != had || (had && got != want) {
+				t.Fatalf("op %d: Get(%s)=%d,%v want %d,%v", i, key, got, ok, want, had)
+			}
+		}
+	}
+	keys := m.Keys()
+	sort.Strings(keys)
+	if len(keys) != len(oracle) {
+		t.Fatalf("%d keys, oracle %d", len(keys), len(oracle))
+	}
+	for _, k := range keys {
+		if _, ok := oracle[k]; !ok {
+			t.Fatalf("stray key %s", k)
+		}
+	}
+}
+
+// TestQuickInsertAll: any batch of distinct keys is fully retrievable.
+func TestQuickInsertAll(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	f := func(raw []uint16) bool {
+		m := txhash.New[uint16](4)
+		seen := map[string]uint16{}
+		th.Atomic(func(tx *stm.Tx) {
+			for _, v := range raw {
+				k := fmt.Sprintf("%d", v%128)
+				m.Put(tx, k, v)
+				seen[k] = v
+			}
+		})
+		ok := true
+		th.Atomic(func(tx *stm.Tx) {
+			ok = m.Len(tx) == len(seen)
+			for k, want := range seen {
+				if got, has := m.Get(tx, k); !has || got != want {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentInsertDistinct: concurrent threads inserting disjoint key
+// ranges all succeed.
+func TestConcurrentInsertDistinct(t *testing.T) {
+	const m, per = 8, 200
+	rt := newRT(t, m)
+	rt.SetYieldEvery(4)
+	h := txhash.New[int](32)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				key := fmt.Sprintf("t%d-%d", id, j)
+				ok := false
+				th.Atomic(func(tx *stm.Tx) { ok = h.Insert(tx, key, j) })
+				if !ok {
+					t.Errorf("insert %s failed", key)
+				}
+			}
+		}(i, rt.Thread(i))
+	}
+	wg.Wait()
+	if got := len(h.Keys()); got != m*per {
+		t.Errorf("%d keys, want %d", got, m*per)
+	}
+}
+
+// TestConcurrentSameKeys: racing inserts of the same keys — exactly one
+// winner per key, under a window manager.
+func TestConcurrentSameKeys(t *testing.T) {
+	const m, keys = 8, 100
+	mgr, err := cm.New("online-dynamic", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(m, mgr)
+	rt.SetYieldEvery(4)
+	h := txhash.New[int](16)
+	var wins [m]int
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			for j := 0; j < keys; j++ {
+				key := fmt.Sprintf("shared-%d", j)
+				ok := false
+				th.Atomic(func(tx *stm.Tx) { ok = h.Insert(tx, key, id) })
+				if ok {
+					wins[id]++
+				}
+			}
+		}(i, rt.Thread(i))
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != keys {
+		t.Errorf("%d insert wins, want exactly %d", total, keys)
+	}
+	if got := len(h.Keys()); got != keys {
+		t.Errorf("%d keys, want %d", got, keys)
+	}
+}

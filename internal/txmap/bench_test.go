@@ -1,0 +1,81 @@
+package txmap_test
+
+import (
+	"testing"
+
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+)
+
+// populate fills a tree with n sequential keys.
+func populate(th *stm.Thread, tr *txmap.Tree[int], n int) {
+	th.Atomic(func(tx *stm.Tx) {
+		for k := 0; k < n; k++ {
+			tr.Insert(tx, k, k)
+		}
+	})
+}
+
+// BenchmarkInsertSequential measures insertion into a growing tree.
+func BenchmarkInsertSequential(b *testing.B) {
+	rt := newRT(b, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	b.ResetTimer()
+	th.Atomic(func(tx *stm.Tx) {
+		for i := 0; i < b.N; i++ {
+			tr.Insert(tx, i, i)
+		}
+	})
+}
+
+// BenchmarkGet measures lookups in a 1024-key tree.
+func BenchmarkGet(b *testing.B) {
+	rt := newRT(b, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	populate(th, tr, 1024)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := r.Intn(1024)
+		th.Atomic(func(tx *stm.Tx) { tr.Get(tx, key) })
+	}
+}
+
+// BenchmarkInsertDelete measures a steady-state update cycle.
+func BenchmarkInsertDelete(b *testing.B) {
+	rt := newRT(b, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	populate(th, tr, 512)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := r.Intn(1024)
+		th.Atomic(func(tx *stm.Tx) {
+			if !tr.Insert(tx, key, i) {
+				tr.Delete(tx, key)
+			}
+		})
+	}
+}
+
+// BenchmarkRange measures an in-order scan of 64 keys.
+func BenchmarkRange(b *testing.B) {
+	rt := newRT(b, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	populate(th, tr, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx *stm.Tx) {
+			n := 0
+			tr.Range(tx, 100, 163, func(int, int) bool {
+				n++
+				return true
+			})
+		})
+	}
+}

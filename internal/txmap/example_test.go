@@ -1,0 +1,47 @@
+package txmap_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+)
+
+// Example stores and retrieves ordered bindings transactionally.
+func Example() {
+	rt := stm.New(1, cm.NewPolka())
+	tree := txmap.New[string]()
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		tree.Insert(tx, 2, "two")
+		tree.Insert(tx, 1, "one")
+		tree.Insert(tx, 3, "three")
+		tree.Delete(tx, 2)
+		tree.ForEach(tx, func(k int, v string) bool {
+			fmt.Println(k, v)
+			return true
+		})
+	})
+	// Output:
+	// 1 one
+	// 3 three
+}
+
+// ExampleTree_Range walks a key interval in order.
+func ExampleTree_Range() {
+	rt := stm.New(1, cm.NewPolka())
+	tree := txmap.New[int]()
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		for k := 0; k < 10; k++ {
+			tree.Insert(tx, k, k*k)
+		}
+		tree.Range(tx, 3, 5, func(k, v int) bool {
+			fmt.Println(k, v)
+			return true
+		})
+	})
+	// Output:
+	// 3 9
+	// 4 16
+	// 5 25
+}

@@ -1,0 +1,453 @@
+// Package txmap provides a transactional ordered map implemented as a
+// red-black tree over STM variables. It is the Go counterpart of the
+// red-black tree shipped with DSTM — the paper's RBTree benchmark — and
+// the table structure of the STAMP Vacation benchmark.
+//
+// Every node is one stm.TVar holding the node's data (key, value, color
+// and child/parent links); writers clone the node data, exactly like
+// DSTM2's shadow-factory objects. All operations must run inside a
+// transaction; atomicity and isolation come entirely from the STM.
+package txmap
+
+import (
+	"math"
+
+	"wincm/internal/stm"
+)
+
+// nodeData is the clonable payload of one tree node.
+type nodeData[V any] struct {
+	key                 int
+	val                 V
+	red                 bool
+	left, right, parent *stm.TVar[nodeData[V]]
+}
+
+// Tree is a transactional ordered map with int keys.
+//
+// The sentinel node nilN represents every leaf and is never written or
+// read through the STM (that would funnel all threads through one reader
+// set); color tests treat it as black structurally.
+type Tree[V any] struct {
+	root *stm.TVar[*stm.TVar[nodeData[V]]]
+	nilN *stm.TVar[nodeData[V]]
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	nilN := stm.NewTVar(nodeData[V]{})
+	return &Tree[V]{
+		root: stm.NewTVar[*stm.TVar[nodeData[V]]](nilN),
+		nilN: nilN,
+	}
+}
+
+// get reads node data; n must not be the sentinel.
+func (t *Tree[V]) get(tx *stm.Tx, n *stm.TVar[nodeData[V]]) nodeData[V] {
+	return stm.Read(tx, n)
+}
+
+// isRed reports whether n is a red node; the sentinel is black.
+func (t *Tree[V]) isRed(tx *stm.Tx, n *stm.TVar[nodeData[V]]) bool {
+	return n != t.nilN && stm.Read(tx, n).red
+}
+
+// setRed sets n's color; n must not be the sentinel.
+func (t *Tree[V]) setRed(tx *stm.Tx, n *stm.TVar[nodeData[V]], red bool) {
+	d := stm.Read(tx, n)
+	d.red = red
+	stm.Write(tx, n, d)
+}
+
+// setParent updates n's parent link unless n is the sentinel.
+func (t *Tree[V]) setParent(tx *stm.Tx, n, p *stm.TVar[nodeData[V]]) {
+	if n == t.nilN {
+		return
+	}
+	d := stm.Read(tx, n)
+	d.parent = p
+	stm.Write(tx, n, d)
+}
+
+// find returns the node with key, or nil if absent.
+func (t *Tree[V]) find(tx *stm.Tx, key int) *stm.TVar[nodeData[V]] {
+	x := stm.Read(tx, t.root)
+	for x != t.nilN {
+		d := t.get(tx, x)
+		switch {
+		case key == d.key:
+			return x
+		case key < d.key:
+			x = d.left
+		default:
+			x = d.right
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is present.
+func (t *Tree[V]) Contains(tx *stm.Tx, key int) bool {
+	return t.find(tx, key) != nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(tx *stm.Tx, key int) (V, bool) {
+	if n := t.find(tx, key); n != nil {
+		return t.get(tx, n).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Update replaces the value under key, reporting whether it was present.
+func (t *Tree[V]) Update(tx *stm.Tx, key int, val V) bool {
+	n := t.find(tx, key)
+	if n == nil {
+		return false
+	}
+	d := t.get(tx, n)
+	d.val = val
+	stm.Write(tx, n, d)
+	return true
+}
+
+// Insert adds key→val and reports true, or returns false (leaving the
+// existing binding untouched) when key is already present.
+func (t *Tree[V]) Insert(tx *stm.Tx, key int, val V) bool {
+	parent := t.nilN
+	x := stm.Read(tx, t.root)
+	var pd nodeData[V]
+	for x != t.nilN {
+		pd = t.get(tx, x)
+		if key == pd.key {
+			return false
+		}
+		parent = x
+		if key < pd.key {
+			x = pd.left
+		} else {
+			x = pd.right
+		}
+	}
+	z := stm.NewTVar(nodeData[V]{
+		key: key, val: val, red: true,
+		left: t.nilN, right: t.nilN, parent: parent,
+	})
+	if parent == t.nilN {
+		stm.Write(tx, t.root, z)
+	} else if key < pd.key {
+		pd.left = z
+		stm.Write(tx, parent, pd)
+	} else {
+		pd.right = z
+		stm.Write(tx, parent, pd)
+	}
+	t.insertFixup(tx, z)
+	return true
+}
+
+// insertFixup restores the red-black invariants after inserting z (CLRS).
+func (t *Tree[V]) insertFixup(tx *stm.Tx, z *stm.TVar[nodeData[V]]) {
+	for {
+		zd := t.get(tx, z)
+		zp := zd.parent
+		if zp == t.nilN || !t.isRed(tx, zp) {
+			break
+		}
+		// Parent is red ⇒ it is not the root ⇒ grandparent is real.
+		zpd := t.get(tx, zp)
+		zpp := zpd.parent
+		zppd := t.get(tx, zpp)
+		if zp == zppd.left {
+			uncle := zppd.right
+			if t.isRed(tx, uncle) {
+				t.setRed(tx, zp, false)
+				t.setRed(tx, uncle, false)
+				t.setRed(tx, zpp, true)
+				z = zpp
+				continue
+			}
+			if z == zpd.right {
+				z = zp
+				t.rotateLeft(tx, z)
+				zd = t.get(tx, z)
+				zp = zd.parent
+			}
+			t.setRed(tx, zp, false)
+			t.setRed(tx, zpp, true)
+			t.rotateRight(tx, zpp)
+		} else {
+			uncle := zppd.left
+			if t.isRed(tx, uncle) {
+				t.setRed(tx, zp, false)
+				t.setRed(tx, uncle, false)
+				t.setRed(tx, zpp, true)
+				z = zpp
+				continue
+			}
+			if z == zpd.left {
+				z = zp
+				t.rotateRight(tx, z)
+				zd = t.get(tx, z)
+				zp = zd.parent
+			}
+			t.setRed(tx, zp, false)
+			t.setRed(tx, zpp, true)
+			t.rotateLeft(tx, zpp)
+		}
+	}
+	root := stm.Read(tx, t.root)
+	if t.isRed(tx, root) {
+		t.setRed(tx, root, false)
+	}
+}
+
+// rotateLeft rotates x's right child above x.
+func (t *Tree[V]) rotateLeft(tx *stm.Tx, x *stm.TVar[nodeData[V]]) {
+	xd := t.get(tx, x)
+	y := xd.right
+	yd := t.get(tx, y)
+
+	xd.right = yd.left
+	t.setParent(tx, yd.left, x)
+
+	yd.parent = xd.parent
+	if xd.parent == t.nilN {
+		stm.Write(tx, t.root, y)
+	} else {
+		pd := t.get(tx, xd.parent)
+		if pd.left == x {
+			pd.left = y
+		} else {
+			pd.right = y
+		}
+		stm.Write(tx, xd.parent, pd)
+	}
+	yd.left = x
+	xd.parent = y
+	stm.Write(tx, x, xd)
+	stm.Write(tx, y, yd)
+}
+
+// rotateRight rotates x's left child above x.
+func (t *Tree[V]) rotateRight(tx *stm.Tx, x *stm.TVar[nodeData[V]]) {
+	xd := t.get(tx, x)
+	y := xd.left
+	yd := t.get(tx, y)
+
+	xd.left = yd.right
+	t.setParent(tx, yd.right, x)
+
+	yd.parent = xd.parent
+	if xd.parent == t.nilN {
+		stm.Write(tx, t.root, y)
+	} else {
+		pd := t.get(tx, xd.parent)
+		if pd.left == x {
+			pd.left = y
+		} else {
+			pd.right = y
+		}
+		stm.Write(tx, xd.parent, pd)
+	}
+	yd.right = x
+	xd.parent = y
+	stm.Write(tx, x, xd)
+	stm.Write(tx, y, yd)
+}
+
+// transplant replaces subtree u (whose parent is uParent) with v.
+func (t *Tree[V]) transplant(tx *stm.Tx, u, v, uParent *stm.TVar[nodeData[V]]) {
+	if uParent == t.nilN {
+		stm.Write(tx, t.root, v)
+	} else {
+		pd := t.get(tx, uParent)
+		if pd.left == u {
+			pd.left = v
+		} else {
+			pd.right = v
+		}
+		stm.Write(tx, uParent, pd)
+	}
+	t.setParent(tx, v, uParent)
+}
+
+// minimumFrom returns the leftmost node of the subtree rooted at x
+// (x must be real).
+func (t *Tree[V]) minimumFrom(tx *stm.Tx, x *stm.TVar[nodeData[V]]) *stm.TVar[nodeData[V]] {
+	for {
+		d := t.get(tx, x)
+		if d.left == t.nilN {
+			return x
+		}
+		x = d.left
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[V]) Delete(tx *stm.Tx, key int) bool {
+	z := t.find(tx, key)
+	if z == nil {
+		return false
+	}
+	zd := t.get(tx, z)
+
+	var x, xParent *stm.TVar[nodeData[V]]
+	removedRed := zd.red
+	switch {
+	case zd.left == t.nilN:
+		x, xParent = zd.right, zd.parent
+		t.transplant(tx, z, zd.right, zd.parent)
+	case zd.right == t.nilN:
+		x, xParent = zd.left, zd.parent
+		t.transplant(tx, z, zd.left, zd.parent)
+	default:
+		y := t.minimumFrom(tx, zd.right)
+		yd := t.get(tx, y)
+		removedRed = yd.red
+		x = yd.right
+		if yd.parent == z {
+			xParent = y
+		} else {
+			xParent = yd.parent
+			t.transplant(tx, y, yd.right, yd.parent)
+			yd.right = zd.right
+			t.setParent(tx, zd.right, y)
+		}
+		t.transplant(tx, z, y, zd.parent)
+		yd.left = zd.left
+		yd.red = zd.red
+		yd.parent = zd.parent
+		stm.Write(tx, y, yd)
+		t.setParent(tx, zd.left, y)
+	}
+	if !removedRed {
+		t.deleteFixup(tx, x, xParent)
+	}
+	return true
+}
+
+// deleteFixup restores the invariants after removing a black node. x is
+// the doubly-black node (possibly the sentinel), parent its parent; the
+// sentinel's parent is tracked here explicitly instead of being written
+// into the shared sentinel as CLRS does.
+func (t *Tree[V]) deleteFixup(tx *stm.Tx, x, parent *stm.TVar[nodeData[V]]) {
+	for x != stm.Read(tx, t.root) && !t.isRed(tx, x) {
+		pd := t.get(tx, parent)
+		if x == pd.left {
+			w := pd.right // sibling of a doubly-black node is real
+			if t.isRed(tx, w) {
+				t.setRed(tx, w, false)
+				t.setRed(tx, parent, true)
+				t.rotateLeft(tx, parent)
+				pd = t.get(tx, parent)
+				w = pd.right
+			}
+			wd := t.get(tx, w)
+			if !t.isRed(tx, wd.left) && !t.isRed(tx, wd.right) {
+				t.setRed(tx, w, true)
+				x = parent
+				parent = t.get(tx, x).parent
+				continue
+			}
+			if !t.isRed(tx, wd.right) {
+				t.setRed(tx, wd.left, false)
+				t.setRed(tx, w, true)
+				t.rotateRight(tx, w)
+				pd = t.get(tx, parent)
+				w = pd.right
+				wd = t.get(tx, w)
+			}
+			t.setRed(tx, w, t.isRed(tx, parent))
+			t.setRed(tx, parent, false)
+			t.setRed(tx, wd.right, false)
+			t.rotateLeft(tx, parent)
+			x = stm.Read(tx, t.root)
+		} else {
+			w := pd.left
+			if t.isRed(tx, w) {
+				t.setRed(tx, w, false)
+				t.setRed(tx, parent, true)
+				t.rotateRight(tx, parent)
+				pd = t.get(tx, parent)
+				w = pd.left
+			}
+			wd := t.get(tx, w)
+			if !t.isRed(tx, wd.left) && !t.isRed(tx, wd.right) {
+				t.setRed(tx, w, true)
+				x = parent
+				parent = t.get(tx, x).parent
+				continue
+			}
+			if !t.isRed(tx, wd.left) {
+				t.setRed(tx, wd.right, false)
+				t.setRed(tx, w, true)
+				t.rotateLeft(tx, w)
+				pd = t.get(tx, parent)
+				w = pd.left
+				wd = t.get(tx, w)
+			}
+			t.setRed(tx, w, t.isRed(tx, parent))
+			t.setRed(tx, parent, false)
+			t.setRed(tx, wd.left, false)
+			t.rotateRight(tx, parent)
+			x = stm.Read(tx, t.root)
+		}
+	}
+	if x != t.nilN {
+		t.setRed(tx, x, false)
+	}
+}
+
+// Min returns the smallest key (and its value). ok is false when empty.
+func (t *Tree[V]) Min(tx *stm.Tx) (key int, val V, ok bool) {
+	x := stm.Read(tx, t.root)
+	if x == t.nilN {
+		var zero V
+		return 0, zero, false
+	}
+	d := t.get(tx, t.minimumFrom(tx, x))
+	return d.key, d.val, true
+}
+
+// Range calls fn in key order for every binding with lo ≤ key ≤ hi; fn
+// returning false stops the walk early.
+func (t *Tree[V]) Range(tx *stm.Tx, lo, hi int, fn func(key int, val V) bool) {
+	t.rangeFrom(tx, stm.Read(tx, t.root), lo, hi, fn)
+}
+
+func (t *Tree[V]) rangeFrom(tx *stm.Tx, n *stm.TVar[nodeData[V]], lo, hi int, fn func(int, V) bool) bool {
+	if n == t.nilN {
+		return true
+	}
+	d := t.get(tx, n)
+	if d.key > lo {
+		if !t.rangeFrom(tx, d.left, lo, hi, fn) {
+			return false
+		}
+	}
+	if d.key >= lo && d.key <= hi {
+		if !fn(d.key, d.val) {
+			return false
+		}
+	}
+	if d.key < hi {
+		if !t.rangeFrom(tx, d.right, lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn in key order for every binding in the tree.
+func (t *Tree[V]) ForEach(tx *stm.Tx, fn func(key int, val V) bool) {
+	t.Range(tx, math.MinInt, math.MaxInt, fn)
+}
+
+// Len counts the bindings (O(n), transactionally).
+func (t *Tree[V]) Len(tx *stm.Tx) int {
+	n := 0
+	t.ForEach(tx, func(int, V) bool { n++; return true })
+	return n
+}

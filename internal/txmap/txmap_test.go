@@ -1,0 +1,360 @@
+package txmap_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+)
+
+func newRT(t testing.TB, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New("polka", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestEmptyTree(t *testing.T) {
+	rt := newRT(t, 1)
+	tr := txmap.New[string]()
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		if tr.Contains(tx, 5) {
+			t.Error("empty tree contains 5")
+		}
+		if _, ok := tr.Get(tx, 5); ok {
+			t.Error("Get on empty tree succeeded")
+		}
+		if tr.Delete(tx, 5) {
+			t.Error("Delete on empty tree succeeded")
+		}
+		if tr.Update(tx, 5, "x") {
+			t.Error("Update on empty tree succeeded")
+		}
+		if tr.Len(tx) != 0 {
+			t.Error("empty tree has nonzero length")
+		}
+		if _, _, ok := tr.Min(tx); ok {
+			t.Error("Min on empty tree succeeded")
+		}
+	})
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	rt := newRT(t, 1)
+	tr := txmap.New[string]()
+	th := rt.Thread(0)
+	th.Atomic(func(tx *stm.Tx) {
+		if !tr.Insert(tx, 10, "ten") {
+			t.Error("insert 10 failed")
+		}
+		if tr.Insert(tx, 10, "TEN") {
+			t.Error("duplicate insert succeeded")
+		}
+		if v, ok := tr.Get(tx, 10); !ok || v != "ten" {
+			t.Errorf("Get(10) = %q,%v", v, ok)
+		}
+		if !tr.Update(tx, 10, "TEN") {
+			t.Error("update failed")
+		}
+		if v, _ := tr.Get(tx, 10); v != "TEN" {
+			t.Errorf("after update: %q", v)
+		}
+		if !tr.Delete(tx, 10) {
+			t.Error("delete failed")
+		}
+		if tr.Contains(tx, 10) {
+			t.Error("still contains 10")
+		}
+	})
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOracleRandomOps drives the tree with random operations, mirroring
+// them into a map, validating invariants and contents as it goes.
+func TestOracleRandomOps(t *testing.T) {
+	const ops, keyRange = 6000, 200
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	oracle := map[int]int{}
+	r := rng.New(42)
+	for i := 0; i < ops; i++ {
+		key := r.Intn(keyRange)
+		val := r.Intn(1000)
+		switch r.Intn(4) {
+		case 0, 1: // insert twice as often to grow the tree
+			var got bool
+			th.Atomic(func(tx *stm.Tx) { got = tr.Insert(tx, key, val) })
+			_, had := oracle[key]
+			if got == had {
+				t.Fatalf("op %d: Insert(%d) = %v, oracle had=%v", i, key, got, had)
+			}
+			if !had {
+				oracle[key] = val
+			}
+		case 2:
+			var got bool
+			th.Atomic(func(tx *stm.Tx) { got = tr.Delete(tx, key) })
+			_, had := oracle[key]
+			if got != had {
+				t.Fatalf("op %d: Delete(%d) = %v, oracle had=%v", i, key, got, had)
+			}
+			delete(oracle, key)
+		case 3:
+			var got bool
+			var gv int
+			th.Atomic(func(tx *stm.Tx) {
+				got = tr.Contains(tx, key)
+				gv, _ = tr.Get(tx, key)
+			})
+			ov, had := oracle[key]
+			if got != had || (had && gv != ov) {
+				t.Fatalf("op %d: Get(%d) = %d,%v oracle %d,%v", i, key, gv, got, ov, had)
+			}
+		}
+		if i%250 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != len(oracle) {
+		t.Fatalf("snapshot has %d keys, oracle %d", len(snap), len(oracle))
+	}
+	for i, kv := range snap {
+		if i > 0 && snap[i-1].Key >= kv.Key {
+			t.Fatal("snapshot not sorted")
+		}
+		if ov := oracle[kv.Key]; ov != kv.Val {
+			t.Fatalf("key %d: val %d, oracle %d", kv.Key, kv.Val, ov)
+		}
+	}
+}
+
+// TestDeleteEveryShape deletes every key from trees built in every
+// insertion order of a small key set — exhaustive coverage of delete
+// fixup cases on small trees.
+func TestDeleteEveryShape(t *testing.T) {
+	keys := []int{1, 2, 3, 4, 5, 6, 7}
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	var perms [][]int
+	var permute func(cur, rest []int)
+	permute = func(cur, rest []int) {
+		if len(rest) == 0 {
+			perms = append(perms, append([]int(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			permute(append(cur, rest[i]), next)
+		}
+	}
+	permute(nil, keys)
+	for pi, perm := range perms {
+		for _, victim := range keys {
+			tr := txmap.New[struct{}]()
+			th.Atomic(func(tx *stm.Tx) {
+				for _, k := range perm {
+					tr.Insert(tx, k, struct{}{})
+				}
+			})
+			th.Atomic(func(tx *stm.Tx) {
+				if !tr.Delete(tx, victim) {
+					t.Fatalf("perm %d: delete %d failed", pi, victim)
+				}
+			})
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("perm %v delete %d: %v", perm, victim, err)
+			}
+			if got := len(tr.Snapshot()); got != len(keys)-1 {
+				t.Fatalf("perm %v delete %d: %d keys left", perm, victim, got)
+			}
+		}
+	}
+}
+
+// TestQuickOrderedSnapshot: after any batch of inserts the snapshot is the
+// sorted deduplicated key list.
+func TestQuickOrderedSnapshot(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	f := func(keys []int16) bool {
+		tr := txmap.New[struct{}]()
+		seen := map[int]bool{}
+		th.Atomic(func(tx *stm.Tx) {
+			for _, k := range keys {
+				tr.Insert(tx, int(k), struct{}{})
+			}
+		})
+		for _, k := range keys {
+			seen[int(k)] = true
+		}
+		want := make([]int, 0, len(seen))
+		for k := range seen {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		snap := tr.Snapshot()
+		if len(snap) != len(want) {
+			return false
+		}
+		for i, kv := range snap {
+			if kv.Key != want[i] {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	rt := newRT(t, 1)
+	th := rt.Thread(0)
+	tr := txmap.New[int]()
+	th.Atomic(func(tx *stm.Tx) {
+		for k := 0; k < 100; k += 2 {
+			tr.Insert(tx, k, k*10)
+		}
+	})
+	var got []int
+	th.Atomic(func(tx *stm.Tx) {
+		got = got[:0]
+		tr.Range(tx, 10, 20, func(k, v int) bool {
+			got = append(got, k)
+			return true
+		})
+	})
+	want := []int{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	th.Atomic(func(tx *stm.Tx) {
+		n = 0
+		tr.Range(tx, 0, 98, func(k, v int) bool {
+			n++
+			return n < 3
+		})
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Min.
+	th.Atomic(func(tx *stm.Tx) {
+		k, v, ok := tr.Min(tx)
+		if !ok || k != 0 || v != 0 {
+			t.Errorf("Min = %d,%d,%v", k, v, ok)
+		}
+	})
+}
+
+// TestConcurrentMixedOps hammers one tree from many threads and checks
+// final invariants plus conservation of the set size implied by the
+// per-thread operation results.
+func TestConcurrentMixedOps(t *testing.T) {
+	const m, perThread, keyRange = 8, 400, 128
+	rt := newRT(t, m)
+	tr := txmap.New[int]()
+	var inserted, deleted [m]int
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(id int, th *stm.Thread) {
+			defer wg.Done()
+			r := rng.New(uint64(id) + 7)
+			for j := 0; j < perThread; j++ {
+				key := r.Intn(keyRange)
+				if r.Bool(0.5) {
+					ok := false
+					th.Atomic(func(tx *stm.Tx) { ok = tr.Insert(tx, key, id) })
+					if ok {
+						inserted[id]++
+					}
+				} else {
+					ok := false
+					th.Atomic(func(tx *stm.Tx) { ok = tr.Delete(tx, key) })
+					if ok {
+						deleted[id]++
+					}
+				}
+			}
+		}(i, rt.Thread(i))
+	}
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ins, del := 0, 0
+	for i := 0; i < m; i++ {
+		ins += inserted[i]
+		del += deleted[i]
+	}
+	if got := len(tr.Snapshot()); got != ins-del {
+		t.Errorf("size %d, want %d (=%d inserts − %d deletes)", got, ins-del, ins, del)
+	}
+}
+
+// TestConcurrentOpsUnderWindowManagers repeats a short mixed run under
+// each window variant — the structure the paper's RBTree benchmark uses.
+func TestConcurrentOpsUnderWindowManagers(t *testing.T) {
+	for _, name := range []string{"online", "online-dynamic", "adaptive", "adaptive-improved", "adaptive-improved-dynamic"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const m, perThread = 4, 150
+			mgr, err := cm.New(name, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := stm.New(m, mgr)
+			tr := txmap.New[struct{}]()
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(id int, th *stm.Thread) {
+					defer wg.Done()
+					r := rng.New(uint64(id) + 99)
+					for j := 0; j < perThread; j++ {
+						key := r.Intn(64)
+						if r.Bool(0.5) {
+							th.Atomic(func(tx *stm.Tx) { tr.Insert(tx, key, struct{}{}) })
+						} else {
+							th.Atomic(func(tx *stm.Tx) { tr.Delete(tx, key) })
+						}
+					}
+				}(i, rt.Thread(i))
+			}
+			wg.Wait()
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package txmap
+
+import (
+	"fmt"
+
+	"wincm/internal/stm"
+)
+
+// KV is one key/value binding in a Snapshot.
+type KV[V any] struct {
+	Key int
+	Val V
+}
+
+// Snapshot returns the bindings in key order, read directly (not
+// transactionally). It must only be called while no transactions run.
+func (t *Tree[V]) Snapshot() []KV[V] {
+	var out []KV[V]
+	var walk func(n *stm.TVar[nodeData[V]])
+	walk = func(n *stm.TVar[nodeData[V]]) {
+		if n == t.nilN {
+			return
+		}
+		d := n.Peek()
+		walk(d.left)
+		out = append(out, KV[V]{d.key, d.val})
+		walk(d.right)
+	}
+	walk(t.root.Peek())
+	return out
+}
+
+// Validate checks every red-black and structural invariant of the tree:
+// BST key order, black root, no red node with a red child, equal black
+// height on every path, and parent links consistent with child links.
+// It must only be called while no transactions run; it returns the first
+// violation found, or nil.
+func (t *Tree[V]) Validate() error {
+	root := t.root.Peek()
+	if root == t.nilN {
+		return nil
+	}
+	if root.Peek().red {
+		return fmt.Errorf("txmap: root is red")
+	}
+	if p := root.Peek().parent; p != t.nilN {
+		return fmt.Errorf("txmap: root has parent")
+	}
+	_, err := t.check(root, nil, nil)
+	return err
+}
+
+// check validates the subtree at n against the open key interval
+// (lo, hi) and returns its black height.
+func (t *Tree[V]) check(n *stm.TVar[nodeData[V]], lo, hi *int) (int, error) {
+	if n == t.nilN {
+		return 1, nil
+	}
+	d := n.Peek()
+	if lo != nil && d.key <= *lo {
+		return 0, fmt.Errorf("txmap: key %d violates lower bound %d", d.key, *lo)
+	}
+	if hi != nil && d.key >= *hi {
+		return 0, fmt.Errorf("txmap: key %d violates upper bound %d", d.key, *hi)
+	}
+	for _, c := range []*stm.TVar[nodeData[V]]{d.left, d.right} {
+		if c == t.nilN {
+			continue
+		}
+		cd := c.Peek()
+		if cd.parent != n {
+			return 0, fmt.Errorf("txmap: node %d has child %d with wrong parent", d.key, cd.key)
+		}
+		if d.red && cd.red {
+			return 0, fmt.Errorf("txmap: red node %d has red child %d", d.key, cd.key)
+		}
+	}
+	lh, err := t.check(d.left, lo, &d.key)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(d.right, &d.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("txmap: node %d has black heights %d/%d", d.key, lh, rh)
+	}
+	if d.red {
+		return lh, nil
+	}
+	return lh + 1, nil
+}

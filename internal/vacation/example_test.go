@@ -1,0 +1,25 @@
+package vacation_test
+
+import (
+	"fmt"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/vacation"
+)
+
+// Example sets up the travel-booking database, runs one client, and
+// verifies the global invariants.
+func Example() {
+	cfg, _ := vacation.Scenario("low")
+	db := vacation.New(cfg)
+	rt := stm.New(1, cm.NewPolka())
+	db.Setup(rt.Thread(0))
+
+	client := db.NewClient(1)
+	for i := 0; i < 500; i++ {
+		client.Do(rt.Thread(0))
+	}
+	fmt.Println(db.Verify() == nil, db.Customers() > 0)
+	// Output: true true
+}

@@ -1,0 +1,376 @@
+// Package vacation implements the STAMP Vacation benchmark over the STM:
+// a travel-booking database with car, room and flight tables plus a
+// customer table, exercised by three transaction types — making
+// reservations, deleting customers, and updating the tables.
+//
+// Substitution notes (DESIGN.md §1): the structure mirrors STAMP's
+// manager/client split — each table is a transactional red-black tree, a
+// reservation transaction queries several random resources and reserves
+// the best candidate of each kind, exactly as STAMP's client does. Table
+// removal is bounded by the free count (never below the reserved amount),
+// which keeps the global invariants checkable after concurrent runs; STAMP
+// itself tolerates dangling reservations instead.
+package vacation
+
+import (
+	"fmt"
+
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+)
+
+// Kind distinguishes the three resource tables.
+type Kind int
+
+const (
+	// Car reservations.
+	Car Kind = iota
+	// Room reservations.
+	Room
+	// Flight reservations.
+	Flight
+	numKinds
+)
+
+// String returns the table name.
+func (k Kind) String() string {
+	switch k {
+	case Car:
+		return "car"
+	case Room:
+		return "room"
+	case Flight:
+		return "flight"
+	default:
+		return "invalid"
+	}
+}
+
+// Resource is one row of a reservation table.
+type Resource struct {
+	Total, Used, Free, Price int
+}
+
+// item is one reservation held by a customer.
+type item struct {
+	kind  Kind
+	id    int
+	price int
+}
+
+// customer is a customer row; its reservation list is copied on write so
+// transactional versions never share backing arrays.
+type customer struct {
+	items []item
+}
+
+// Config parameterizes the benchmark; see Scenario for the presets used
+// in the experiments.
+type Config struct {
+	// Relations is the number of rows per table (and customer ids).
+	Relations int
+	// NumQueries is how many resources one reservation transaction
+	// examines (more queries ⇒ bigger read/write sets ⇒ more conflicts).
+	NumQueries int
+	// QueryRangePct restricts queried ids to this percentage of the table
+	// (smaller range ⇒ hotter rows ⇒ more conflicts).
+	QueryRangePct int
+	// UserPct is the percentage of transactions that are reservations;
+	// the remainder split evenly between customer deletions and table
+	// updates.
+	UserPct int
+	// Seed drives table population.
+	Seed uint64
+}
+
+// Scenario returns the configuration used for the paper's low, medium and
+// high contention settings ("low", "medium", "high").
+func Scenario(level string) (Config, error) {
+	base := Config{Relations: 128, Seed: 1}
+	switch level {
+	case "low":
+		base.NumQueries, base.QueryRangePct, base.UserPct = 2, 90, 98
+	case "medium":
+		base.NumQueries, base.QueryRangePct, base.UserPct = 4, 60, 95
+	case "high":
+		base.NumQueries, base.QueryRangePct, base.UserPct = 8, 10, 90
+	default:
+		return Config{}, fmt.Errorf("vacation: unknown scenario %q", level)
+	}
+	return base, nil
+}
+
+// Vacation is the shared database.
+type Vacation struct {
+	cfg       Config
+	tables    [numKinds]*txmap.Tree[Resource]
+	customers *txmap.Tree[customer]
+}
+
+// New creates an empty database for cfg (call Setup to populate).
+func New(cfg Config) *Vacation {
+	if cfg.Relations <= 0 {
+		cfg.Relations = 128
+	}
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = 2
+	}
+	if cfg.QueryRangePct <= 0 || cfg.QueryRangePct > 100 {
+		cfg.QueryRangePct = 90
+	}
+	if cfg.UserPct <= 0 || cfg.UserPct > 100 {
+		cfg.UserPct = 90
+	}
+	v := &Vacation{cfg: cfg}
+	for k := range v.tables {
+		v.tables[k] = txmap.New[Resource]()
+	}
+	v.customers = txmap.New[customer]()
+	return v
+}
+
+// Config returns the database configuration.
+func (v *Vacation) Config() Config { return v.cfg }
+
+// Setup populates every table with Relations rows of random capacity and
+// price, as STAMP's manager initialization does.
+func (v *Vacation) Setup(th *stm.Thread) {
+	r := rng.New(v.cfg.Seed)
+	for k := range v.tables {
+		tbl := v.tables[k]
+		for id := 0; id < v.cfg.Relations; id++ {
+			cap := 100 + r.Intn(100)
+			price := 50 + 10*r.Intn(50)
+			th.Atomic(func(tx *stm.Tx) {
+				tbl.Insert(tx, id, Resource{Total: cap, Free: cap, Price: price})
+			})
+		}
+	}
+}
+
+// TxKind labels the transaction types for metrics.
+type TxKind int
+
+const (
+	// MakeReservation books resources for a customer.
+	MakeReservation TxKind = iota
+	// DeleteCustomer releases a customer's reservations.
+	DeleteCustomer
+	// UpdateTables grows or shrinks resource availability.
+	UpdateTables
+)
+
+// String returns the transaction-kind name.
+func (k TxKind) String() string {
+	switch k {
+	case MakeReservation:
+		return "make-reservation"
+	case DeleteCustomer:
+		return "delete-customer"
+	case UpdateTables:
+		return "update-tables"
+	default:
+		return "invalid"
+	}
+}
+
+// Client issues random transactions against the database. Each thread
+// needs its own Client.
+type Client struct {
+	v *Vacation
+	r *rng.Rand
+}
+
+// NewClient returns a client with its own deterministic stream.
+func (v *Vacation) NewClient(seed uint64) *Client {
+	return &Client{v: v, r: rng.New(seed)}
+}
+
+// queryID draws an id from the configured hot range.
+func (c *Client) queryID() int {
+	span := c.v.cfg.Relations * c.v.cfg.QueryRangePct / 100
+	if span < 1 {
+		span = 1
+	}
+	return c.r.Intn(span)
+}
+
+// Do runs one random transaction on thread th and returns its kind and
+// the STM commit statistics.
+func (c *Client) Do(th *stm.Thread) (TxKind, stm.TxInfo) {
+	p := c.r.Intn(100)
+	switch {
+	case p < c.v.cfg.UserPct:
+		return MakeReservation, c.makeReservation(th)
+	case p < c.v.cfg.UserPct+(100-c.v.cfg.UserPct)/2:
+		return DeleteCustomer, c.deleteCustomer(th)
+	default:
+		return UpdateTables, c.updateTables(th)
+	}
+}
+
+// makeReservation examines NumQueries random resources, then books the
+// highest-priced available candidate of each kind for a random customer.
+func (c *Client) makeReservation(th *stm.Thread) stm.TxInfo {
+	customerID := c.r.Intn(c.v.cfg.Relations)
+	type query struct{ kind, id int }
+	queries := make([]query, c.v.cfg.NumQueries)
+	for i := range queries {
+		queries[i] = query{kind: c.r.Intn(int(numKinds)), id: c.queryID()}
+	}
+	return th.Atomic(func(tx *stm.Tx) {
+		var best [numKinds]int
+		var hasBest [numKinds]bool
+		for _, q := range queries {
+			res, ok := c.v.tables[q.kind].Get(tx, q.id)
+			if !ok || res.Free <= 0 {
+				continue
+			}
+			if !hasBest[q.kind] || betterPrice(res.Price, q.id, c.v, tx, Kind(q.kind), best[q.kind]) {
+				best[q.kind], hasBest[q.kind] = q.id, true
+			}
+		}
+		reserved := false
+		var cust customer
+		for k := 0; k < int(numKinds); k++ {
+			if !hasBest[k] {
+				continue
+			}
+			id := best[k]
+			res, ok := c.v.tables[k].Get(tx, id)
+			if !ok || res.Free <= 0 {
+				continue
+			}
+			res.Free--
+			res.Used++
+			c.v.tables[k].Update(tx, id, res)
+			cust.items = append(cust.items, item{kind: Kind(k), id: id, price: res.Price})
+			reserved = true
+		}
+		if !reserved {
+			return
+		}
+		if cur, ok := c.v.customers.Get(tx, customerID); ok {
+			merged := make([]item, 0, len(cur.items)+len(cust.items))
+			merged = append(merged, cur.items...)
+			merged = append(merged, cust.items...)
+			c.v.customers.Update(tx, customerID, customer{items: merged})
+		} else {
+			c.v.customers.Insert(tx, customerID, cust)
+		}
+	})
+}
+
+// betterPrice reports whether price beats the current best candidate's
+// price (re-read transactionally so the comparison is consistent).
+func betterPrice(price, _ int, v *Vacation, tx *stm.Tx, kind Kind, bestID int) bool {
+	bestRes, ok := v.tables[kind].Get(tx, bestID)
+	return !ok || price > bestRes.Price
+}
+
+// deleteCustomer releases every reservation of a random customer and
+// removes the customer row.
+func (c *Client) deleteCustomer(th *stm.Thread) stm.TxInfo {
+	customerID := c.r.Intn(c.v.cfg.Relations)
+	return th.Atomic(func(tx *stm.Tx) {
+		cust, ok := c.v.customers.Get(tx, customerID)
+		if !ok {
+			return
+		}
+		for _, it := range cust.items {
+			res, ok := c.v.tables[it.kind].Get(tx, it.id)
+			if !ok {
+				continue // cannot happen: removal never drops reserved rows
+			}
+			res.Free++
+			res.Used--
+			c.v.tables[it.kind].Update(tx, it.id, res)
+		}
+		c.v.customers.Delete(tx, customerID)
+	})
+}
+
+// updateTables grows or shrinks the availability of a random resource, as
+// STAMP's table-update transactions do. Shrinking is bounded by the free
+// count so reservations never dangle.
+func (c *Client) updateTables(th *stm.Thread) stm.TxInfo {
+	kind := c.r.Intn(int(numKinds))
+	id := c.queryID()
+	grow := c.r.Bool(0.5)
+	amount := 10 + c.r.Intn(90)
+	price := 50 + 10*c.r.Intn(50)
+	return th.Atomic(func(tx *stm.Tx) {
+		tbl := c.v.tables[kind]
+		res, ok := tbl.Get(tx, id)
+		if grow {
+			if !ok {
+				tbl.Insert(tx, id, Resource{Total: amount, Free: amount, Price: price})
+				return
+			}
+			res.Total += amount
+			res.Free += amount
+			res.Price = price
+			tbl.Update(tx, id, res)
+			return
+		}
+		if !ok {
+			return
+		}
+		dec := amount
+		if dec > res.Free {
+			dec = res.Free
+		}
+		res.Total -= dec
+		res.Free -= dec
+		if res.Total == 0 && res.Used == 0 {
+			tbl.Delete(tx, id)
+			return
+		}
+		tbl.Update(tx, id, res)
+	})
+}
+
+// Verify checks the database's global invariants in a quiescent state:
+// every row has Used + Free = Total with non-negative fields, and the used
+// counts equal the reservations held across all customers.
+func (v *Vacation) Verify() error {
+	type key struct {
+		kind Kind
+		id   int
+	}
+	used := map[key]int{}
+	for k := range v.tables {
+		for _, kv := range v.tables[k].Snapshot() {
+			r := kv.Val
+			if r.Used < 0 || r.Free < 0 || r.Total < 0 {
+				return fmt.Errorf("vacation: %v %d has negative counts %+v", Kind(k), kv.Key, r)
+			}
+			if r.Used+r.Free != r.Total {
+				return fmt.Errorf("vacation: %v %d violates used+free=total: %+v", Kind(k), kv.Key, r)
+			}
+			used[key{Kind(k), kv.Key}] = r.Used
+		}
+	}
+	held := map[key]int{}
+	for _, kv := range v.customers.Snapshot() {
+		for _, it := range kv.Val.items {
+			held[key{it.kind, it.id}]++
+		}
+	}
+	for k, n := range held {
+		if used[k] != n {
+			return fmt.Errorf("vacation: %v %d used=%d but customers hold %d", k.kind, k.id, used[k], n)
+		}
+		delete(used, k)
+	}
+	for k, n := range used {
+		if n != 0 {
+			return fmt.Errorf("vacation: %v %d used=%d but no customer holds it", k.kind, k.id, n)
+		}
+	}
+	return nil
+}
+
+// Customers returns the number of customer rows (quiescent state only).
+func (v *Vacation) Customers() int { return len(v.customers.Snapshot()) }

@@ -1,0 +1,137 @@
+package vacation_test
+
+import (
+	"sync"
+	"testing"
+
+	"wincm/internal/cm"
+	_ "wincm/internal/core" // registers the window-based managers
+	"wincm/internal/stm"
+	"wincm/internal/vacation"
+)
+
+func newRT(t testing.TB, name string, m int) *stm.Runtime {
+	t.Helper()
+	mgr, err := cm.New(name, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stm.New(m, mgr)
+}
+
+func TestScenarioPresets(t *testing.T) {
+	for _, level := range []string{"low", "medium", "high"} {
+		cfg, err := vacation.Scenario(level)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", level, err)
+		}
+		if cfg.Relations <= 0 || cfg.NumQueries <= 0 {
+			t.Errorf("Scenario(%q) = %+v", level, cfg)
+		}
+	}
+	if _, err := vacation.Scenario("bogus"); err == nil {
+		t.Error("Scenario(bogus) succeeded")
+	}
+	lo, _ := vacation.Scenario("low")
+	hi, _ := vacation.Scenario("high")
+	if hi.NumQueries <= lo.NumQueries || hi.QueryRangePct >= lo.QueryRangePct {
+		t.Error("high contention preset is not hotter than low")
+	}
+}
+
+func TestSetupAndVerifyFreshDB(t *testing.T) {
+	cfg, _ := vacation.Scenario("low")
+	v := vacation.New(cfg)
+	rt := newRT(t, "polka", 1)
+	v.Setup(rt.Thread(0))
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Customers() != 0 {
+		t.Errorf("fresh DB has %d customers", v.Customers())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	v := vacation.New(vacation.Config{})
+	c := v.Config()
+	if c.Relations <= 0 || c.NumQueries <= 0 || c.QueryRangePct <= 0 || c.UserPct <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if vacation.Car.String() != "car" || vacation.Room.String() != "room" || vacation.Flight.String() != "flight" {
+		t.Error("Kind strings wrong")
+	}
+	if vacation.Kind(9).String() != "invalid" {
+		t.Error("invalid Kind string wrong")
+	}
+	if vacation.MakeReservation.String() != "make-reservation" ||
+		vacation.DeleteCustomer.String() != "delete-customer" ||
+		vacation.UpdateTables.String() != "update-tables" {
+		t.Error("TxKind strings wrong")
+	}
+	if vacation.TxKind(9).String() != "invalid" {
+		t.Error("invalid TxKind string wrong")
+	}
+}
+
+// TestSingleThreadWorkload runs a long single-threaded client and checks
+// invariants hold and reservations actually happen.
+func TestSingleThreadWorkload(t *testing.T) {
+	cfg, _ := vacation.Scenario("high")
+	v := vacation.New(cfg)
+	rt := newRT(t, "polka", 1)
+	th := rt.Thread(0)
+	v.Setup(th)
+	c := v.NewClient(7)
+	counts := map[vacation.TxKind]int{}
+	for i := 0; i < 3000; i++ {
+		kind, info := c.Do(th)
+		counts[kind]++
+		if info.Attempts != 1 {
+			t.Fatalf("single-threaded transaction needed %d attempts", info.Attempts)
+		}
+	}
+	if counts[vacation.MakeReservation] == 0 || counts[vacation.DeleteCustomer] == 0 || counts[vacation.UpdateTables] == 0 {
+		t.Errorf("transaction mix degenerate: %v", counts)
+	}
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Customers() == 0 {
+		t.Error("no customers created by 3000 transactions")
+	}
+}
+
+// TestConcurrentWorkload hammers the database from many threads under
+// several contention managers and checks global invariants afterwards.
+func TestConcurrentWorkload(t *testing.T) {
+	for _, mgr := range []string{"polka", "greedy", "priority", "online-dynamic", "adaptive-improved-dynamic"} {
+		mgr := mgr
+		t.Run(mgr, func(t *testing.T) {
+			t.Parallel()
+			const m, perThread = 8, 300
+			cfg, _ := vacation.Scenario("high")
+			v := vacation.New(cfg)
+			rt := newRT(t, mgr, m)
+			v.Setup(rt.Thread(0))
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(id int, th *stm.Thread) {
+					defer wg.Done()
+					c := v.NewClient(uint64(id) + 100)
+					for j := 0; j < perThread; j++ {
+						c.Do(th)
+					}
+				}(i, rt.Thread(i))
+			}
+			wg.Wait()
+			if err := v.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
