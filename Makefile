@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench figures theory loc
+.PHONY: all build vet test race bench figures chaos theory loc ci
 
 all: build vet test
 
@@ -14,7 +14,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/
+
+# What the GitHub workflow runs (.github/workflows/ci.yml).
+ci:
+	go build ./...
+	go vet ./...
+	go test -race -short ./...
 
 # Bounded iterations so the full matrix stays minutes, not hours.
 bench:
@@ -23,6 +29,10 @@ bench:
 # Reproduce the paper's figures (CI-scale; add -paper for the full regime).
 figures:
 	go run ./cmd/winbench -fig all
+
+# Robustness matrix: every manager under deterministic fault injection.
+chaos:
+	go run ./cmd/winbench -fig chaos
 
 theory:
 	go run ./cmd/wintheory

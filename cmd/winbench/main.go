@@ -7,9 +7,13 @@
 //	winbench -fig ext          Section-IV extension metrics
 //	winbench -fig all          everything above
 //	winbench -fig trace        ASCII execution timeline of one traced run
+//	winbench -fig chaos        robustness matrix under fault injection
 //
 // Defaults are CI-friendly; -paper restores the published regime
 // (10-second runs averaged over 6 repetitions, threads up to 32).
+// -chaos layers deterministic fault injection (stalls, spurious aborts,
+// delays, decision perturbation) onto whichever figure runs; -fig chaos
+// runs the dedicated every-manager robustness sweep.
 package main
 
 import (
@@ -41,6 +45,12 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "master seed")
 		paper     = flag.Bool("paper", false, "use the paper's full regime (10s runs × 6 reps)")
 		invisible = flag.Bool("invisible", false, "use invisible (version-validated) reads instead of the paper's visible reads")
+
+		chaosOn    = flag.Bool("chaos", false, "inject deterministic faults (stalls, spurious aborts, delays, decision perturbation) and arm the serialized-fallback budgets")
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "seed for the fault schedules (0 = derive from -seed); the same seed replays the same schedule")
+		stallProb  = flag.Float64("stall-prob", 0, "per-open probability of a mid-flight stall holding acquired objects (0 = chaos default of 1%)")
+		maxAtt     = flag.Int("max-attempts", 0, "retry budget before a transaction takes the serialized fallback (0 = chaos default of 64; negative disables)")
+		txDeadline = flag.Duration("tx-deadline", 0, "wall-clock budget before a transaction takes the serialized fallback (0 = chaos default of 250ms; negative disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +62,11 @@ func main() {
 		WindowN:     *windowN,
 		Invisible:   *invisible,
 		Seed:        *seed,
+		Chaos:       *chaosOn,
+		ChaosSeed:   *chaosSeed,
+		StallProb:   *stallProb,
+		MaxAttempts: *maxAtt,
+		TxDeadline:  *txDeadline,
 	}
 	if *paper {
 		opts.Duration = 10 * time.Second
@@ -76,18 +91,19 @@ func main() {
 	}
 
 	drivers := map[string]func(harness.Options) ([]harness.Table, error){
-		"2":   harness.Fig2,
-		"3":   harness.Fig3,
-		"4":   harness.Fig4,
-		"5":   harness.Fig5,
-		"ext": harness.Extended,
+		"2":     harness.Fig2,
+		"3":     harness.Fig3,
+		"4":     harness.Fig4,
+		"5":     harness.Fig5,
+		"ext":   harness.Extended,
+		"chaos": harness.ChaosSweep,
 	}
 	order := []string{"2", "3", "4", "5", "ext"}
 
 	run := func(name string) {
 		driver, ok := drivers[name]
 		if !ok {
-			fatalf("unknown figure %q (want 2, 3, 4, 5, ext or all)", name)
+			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos or all)", name)
 		}
 		tables, err := driver(opts)
 		if err != nil {

@@ -1,0 +1,133 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/chaos"
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+// drive runs n increment transactions on a single-threaded runtime with
+// the injector installed and returns the final counter value alongside
+// the injector.
+func drive(t *testing.T, cfg chaos.Config, n int) (int, *chaos.Injector) {
+	t.Helper()
+	in := chaos.New(cfg)
+	mgr, err := cm.New("polka", cfg.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(cfg.Threads, mgr, stm.WithProbe(in), stm.WithFallback(64, 0))
+	v := stm.NewTVar(0)
+	for i := 0; i < n; i++ {
+		rt.Thread(0).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+		})
+	}
+	return v.Peek(), in
+}
+
+// TestZeroProbabilitiesInjectNothing: an all-zero config is a pure
+// pass-through.
+func TestZeroProbabilitiesInjectNothing(t *testing.T) {
+	got, in := drive(t, chaos.Config{Seed: 7, Threads: 1}, 200)
+	if got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+	if s := in.Stats(); s != (chaos.Stats{}) {
+		t.Fatalf("stats = %+v, want all zero", s)
+	}
+}
+
+// TestSpuriousAbortsAreInjectedAndRecovered: with a high abort rate every
+// transaction still commits (the runtime retries), and the injector
+// counts its kills.
+func TestSpuriousAbortsAreInjectedAndRecovered(t *testing.T) {
+	cfg := chaos.Config{Seed: 3, Threads: 1, AbortProb: 0.3}
+	got, in := drive(t, cfg, 300)
+	if got != 300 {
+		t.Fatalf("counter = %d, want 300 (spurious aborts must not lose commits)", got)
+	}
+	if s := in.Stats(); s.SpuriousAborts == 0 {
+		t.Fatalf("stats = %+v, want spurious aborts > 0", s)
+	}
+}
+
+// TestStallsAndDelaysAreInjected: non-zero stall and delay rates fire.
+func TestStallsAndDelaysAreInjected(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 5, Threads: 1,
+		DelayProb: 0.2, MaxDelay: 5 * time.Microsecond,
+		StallProb: 0.1, StallDur: 20 * time.Microsecond,
+	}
+	got, in := drive(t, cfg, 300)
+	if got != 300 {
+		t.Fatalf("counter = %d, want 300", got)
+	}
+	s := in.Stats()
+	if s.Stalls == 0 || s.Delays == 0 {
+		t.Fatalf("stats = %+v, want stalls > 0 and delays > 0", s)
+	}
+}
+
+// TestSeedReproducesFaultSchedule: two identical single-threaded runs
+// with the same seed inject exactly the same faults; a different seed
+// diverges.
+func TestSeedReproducesFaultSchedule(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 11, Threads: 1,
+		DelayProb: 0.1, MaxDelay: 2 * time.Microsecond,
+		AbortProb: 0.1,
+		StallProb: 0.05, StallDur: 10 * time.Microsecond,
+	}
+	_, a := drive(t, cfg, 400)
+	_, b := drive(t, cfg, 400)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	cfg.Seed = 12
+	_, c := drive(t, cfg, 400)
+	if a.Stats() == c.Stats() {
+		t.Fatalf("different seeds produced identical schedules: %+v", a.Stats())
+	}
+}
+
+// TestPerturbLeavesFallbackAlone: a conflict involving the fallback-token
+// holder passes through unperturbed even at perturbation probability 1.
+func TestPerturbLeavesFallbackAlone(t *testing.T) {
+	const m = 2
+	in := chaos.New(chaos.Config{Seed: 1, Threads: m, PerturbProb: 1})
+	// The victim thread exhausts a 2-attempt budget against a holder of
+	// the conflicting variable, takes the token, and must then win even
+	// though every decision would otherwise be perturbed.
+	mgr, err := cm.New("karma", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(m, mgr, stm.WithProbe(in), stm.WithFallback(2, 0))
+	v := stm.NewTVar(0)
+	done := make(chan stm.TxInfo, 1)
+	hold := make(chan struct{})
+	go func() {
+		rt.Thread(0).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+			if tx.D.Attempts == 1 {
+				<-hold // stall holding v on the first attempt
+			}
+		})
+		done <- stm.TxInfo{}
+	}()
+	info := rt.Thread(1).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+10)
+	})
+	close(hold)
+	<-done
+	if info.Attempts < 2 {
+		t.Logf("attacker won immediately (attempts=%d); budget never tripped", info.Attempts)
+	}
+	if got := v.Peek(); got != 11 {
+		t.Fatalf("counter = %d, want 11", got)
+	}
+}

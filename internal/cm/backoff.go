@@ -16,9 +16,16 @@ const (
 )
 
 // backoffSpan returns the exponential span for the n-th round (n ≥ 1).
+// The exponent is clamped on both sides: above maxExp so spans stay
+// bounded, and below 1 because a caller passing n ≤ 0 would otherwise
+// shift by uint(n-1) — an enormous unsigned count that silently produces
+// a zero span and turns the backoff into a hot spin.
 func backoffSpan(n int) time.Duration {
 	if n > maxExp {
 		n = maxExp
+	}
+	if n < 1 {
+		n = 1
 	}
 	return baseWait << uint(n-1)
 }
@@ -36,6 +43,9 @@ func NewPolite() *Polite { return &Polite{Rounds: 8} }
 
 // Resolve implements stm.ContentionManager.
 func (p *Polite) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	if attempt > p.Rounds {
 		return stm.AbortEnemy, 0
 	}
@@ -54,6 +64,9 @@ func NewBackoff() *Backoff { return &Backoff{} }
 
 // Resolve implements stm.ContentionManager.
 func (b *Backoff) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	return stm.AbortSelf, 0
 }
 

@@ -24,3 +24,19 @@ func TestBackoffSpanGrowsAndCaps(t *testing.T) {
 		t.Errorf("span(1) = %v, want %v", backoffSpan(1), baseWait)
 	}
 }
+
+// Regression: n ≤ 0 used to shift by uint(n-1) — an enormous unsigned
+// count — silently producing a zero span (a hot spin instead of a
+// backoff). The exponent must clamp below as well as above.
+func TestBackoffSpanClampsNonPositiveRounds(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if got := backoffSpan(n); got != baseWait {
+			t.Errorf("span(%d) = %v, want clamped %v", n, got, baseWait)
+		}
+	}
+	for n := 1; n < maxExp+5; n++ {
+		if got := backoffSpan(n); got <= 0 {
+			t.Errorf("span(%d) = %v, want positive", n, got)
+		}
+	}
+}

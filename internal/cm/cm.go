@@ -5,6 +5,12 @@
 // All managers implement stm.ContentionManager. Policy descriptions follow
 // Scherer & Scott (PODC'05) and Guerraoui, Herlihy & Pochon (PODC'05),
 // which are the papers the evaluated DSTM2 implementations came from.
+//
+// Every Resolve consults stm.FallbackResolve before its own policy: a
+// transaction holding the runtime's serialized-fallback token wins all
+// conflicts, which is what turns the managers' statistical fairness into a
+// hard per-transaction progress guarantee (see wincm/internal/stm,
+// fallback.go).
 package cm
 
 import (
@@ -68,6 +74,9 @@ type Aggressive struct{ stm.NopManager }
 
 // Resolve implements stm.ContentionManager.
 func (Aggressive) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	return stm.AbortEnemy, 0
 }
 
@@ -77,5 +86,8 @@ type Timid struct{ stm.NopManager }
 
 // Resolve implements stm.ContentionManager.
 func (Timid) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	return stm.AbortSelf, 0
 }

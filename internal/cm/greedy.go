@@ -24,6 +24,9 @@ func NewGreedy() *Greedy { return &Greedy{WaitSpan: baseWait} }
 
 // Resolve implements stm.ContentionManager.
 func (g *Greedy) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	if older(tx, enemy) || enemy.D.Waiting.Load() {
 		return stm.AbortEnemy, 0
 	}
@@ -48,6 +51,9 @@ func NewPriority() *Priority { return &Priority{WaitSpan: baseWait} }
 
 // Resolve implements stm.ContentionManager.
 func (p *Priority) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	if older(tx, enemy) {
 		return stm.AbortEnemy, 0
 	}
@@ -68,6 +74,9 @@ func NewTimestamp() *Timestamp { return &Timestamp{Rounds: 8} }
 
 // Resolve implements stm.ContentionManager.
 func (t *Timestamp) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	if older(tx, enemy) {
 		return stm.AbortEnemy, 0
 	}

@@ -49,9 +49,10 @@ type Manager struct {
 	patience int
 	clock    *frameClock
 	threads  []*threadState
-	tauNs    atomic.Int64 // EWMA of committed-attempt durations
-	commits  atomic.Int64
-	bads     atomic.Int64 // total bad events (transactions missing frames)
+	tauNs     atomic.Int64 // EWMA of committed-attempt durations
+	commits   atomic.Int64
+	bads      atomic.Int64 // total bad events (transactions missing frames)
+	fallbacks atomic.Int64 // commits made while holding the fallback token
 }
 
 var _ stm.ContentionManager = (*Manager)(nil)
@@ -101,6 +102,11 @@ func (m *Manager) EstimateC(i int) float64 { return m.threads[i].est.value() }
 
 // BadEvents returns the total number of bad events observed so far.
 func (m *Manager) BadEvents() int64 { return m.bads.Load() }
+
+// FallbackCommits returns the number of commits made under the
+// serialized-fallback token; those retire their frames normally but are
+// exempt from bad-event accounting (see Committed).
+func (m *Manager) FallbackCommits() int64 { return m.fallbacks.Load() }
 
 // frameDur derives the frame duration Φ = scale·τ̂·ln(MN) from the current
 // transaction-duration estimate.
@@ -200,7 +206,15 @@ func (m *Manager) Committed(tx *stm.Tx) {
 
 	m.commits.Add(1)
 	st.est.sample(false)
-	if bad {
+	if tx.HoldsFallback() {
+		// A serialized-fallback commit still retires its frame (above) so
+		// the clock and registration bookkeeping stay exact, but a missed
+		// frame is not charged as a bad event: the miss was forced by the
+		// starvation escape (or the faults that triggered it), not by an
+		// underestimated C_i, and doubling the estimate on it would
+		// inflate every later window.
+		m.fallbacks.Add(1)
+	} else if bad {
 		st.badEvents++
 		m.bads.Add(1)
 		if st.est.onBadEvent() && st.remaining > 0 {
@@ -238,6 +252,9 @@ func (m *Manager) Opened(*stm.Tx) {}
 // (re-resolving with fresh priorities each time, so a frame switch or a
 // π⁽²⁾ redraw can still flip the outcome) before aborting itself.
 func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
 	cur := m.clock.Current()
 	mine := m.prio(cur, tx.D)
 	theirs := m.prio(cur, enemy.D)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wincm/internal/bench"
+	"wincm/internal/chaos"
 	"wincm/internal/core"
 	"wincm/internal/stats"
 )
@@ -53,6 +54,82 @@ type Options struct {
 	Invisible bool
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Chaos runs every cell under deterministic fault injection and arms
+	// the serialized-fallback budgets (see wincm/internal/chaos).
+	Chaos bool
+	// ChaosSeed seeds the fault schedules (0 = derive from Seed).
+	ChaosSeed uint64
+	// StallProb overrides the default stall-injection probability
+	// (0 = the chaos default of 1%).
+	StallProb float64
+	// MaxAttempts overrides the fallback attempt budget in chaos runs
+	// (0 = default 64; negative disables the budget).
+	MaxAttempts int
+	// TxDeadline overrides the fallback deadline budget in chaos runs
+	// (0 = default 250ms; negative disables the budget).
+	TxDeadline time.Duration
+}
+
+// defaultChaosAttempts and defaultChaosDeadline are the fallback budgets
+// armed in chaos runs when the options don't override them: generous
+// enough that the managers' own policies decide virtually all conflicts,
+// tight enough that an injected worst-case schedule drains in bounded
+// time.
+const (
+	defaultChaosAttempts = 64
+	defaultChaosDeadline = 250 * time.Millisecond
+)
+
+// chaosConfig builds the per-cell injector configuration, or nil when
+// chaos is off.
+func (o Options) chaosConfig(threads int) *chaos.Config {
+	if !o.Chaos {
+		return nil
+	}
+	cfg := chaos.DefaultConfig(threads)
+	cfg.Seed = o.ChaosSeed
+	if cfg.Seed == 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.StallProb > 0 {
+		cfg.StallProb = o.StallProb
+	}
+	return &cfg
+}
+
+// chaosBudgets resolves the fallback budgets for chaos cells.
+func (o Options) chaosBudgets() (maxAttempts int, deadline time.Duration) {
+	if !o.Chaos {
+		return 0, 0
+	}
+	maxAttempts, deadline = o.MaxAttempts, o.TxDeadline
+	if maxAttempts == 0 {
+		maxAttempts = defaultChaosAttempts
+	} else if maxAttempts < 0 {
+		maxAttempts = 0
+	}
+	if deadline == 0 {
+		deadline = defaultChaosDeadline
+	} else if deadline < 0 {
+		deadline = 0
+	}
+	return maxAttempts, deadline
+}
+
+// config builds one experiment cell's Config, carrying the chaos settings
+// so every figure can be reproduced under fault load.
+func (o Options) config(manager string, threads int, seed uint64) Config {
+	maxAttempts, deadline := o.chaosBudgets()
+	return Config{
+		Manager:     manager,
+		Threads:     threads,
+		WindowN:     o.WindowN,
+		Invisible:   o.Invisible,
+		Seed:        seed,
+		Chaos:       o.chaosConfig(threads),
+		MaxAttempts: maxAttempts,
+		TxDeadline:  deadline,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -127,7 +204,7 @@ func (o Options) cell(benchmark, manager string, threads int, f func(Result) flo
 		if err != nil {
 			return stats.Summary{}, err
 		}
-		cfg := Config{Manager: manager, Threads: threads, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+		cfg := o.config(manager, threads, seed)
 		res, err := RunTimed(cfg, w, o.Duration)
 		if err != nil {
 			return stats.Summary{}, err
@@ -238,7 +315,7 @@ func Fig5(o Options) ([]Table, error) {
 					if err != nil {
 						return nil, err
 					}
-					cfg := Config{Manager: mgr, Threads: o.Fig5Threads, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+					cfg := o.config(mgr, o.Fig5Threads, seed)
 					res, err := RunCount(cfg, w, o.TotalTxs)
 					if err != nil {
 						return nil, err
@@ -272,7 +349,7 @@ func Extended(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := Config{Manager: mgr, Threads: m, WindowN: o.WindowN, Invisible: o.Invisible, Seed: seed}
+			cfg := o.config(mgr, m, seed)
 			res, err := RunTimed(cfg, w, o.Duration)
 			if err != nil {
 				return nil, err

@@ -82,12 +82,15 @@ func TestInterleaveResolution(t *testing.T) {
 }
 
 func TestStmOptions(t *testing.T) {
-	if opts := (Config{}).stmOptions(); len(opts) != 0 {
-		t.Error("visible default produced options")
+	if opts, inj := (Config{}).stmOptions(); len(opts) != 0 || inj != nil {
+		t.Error("visible default produced options or an injector")
 	}
-	opts := (Config{Invisible: true}).stmOptions()
+	opts, inj := (Config{Invisible: true}).stmOptions()
 	if len(opts) != 1 {
 		t.Fatal("invisible option missing")
+	}
+	if inj != nil {
+		t.Error("injector built without a chaos config")
 	}
 	mgr, err := cm.New("polka", 1)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wincm/internal/chaos"
 	"wincm/internal/cm"
 	"wincm/internal/core"
 	"wincm/internal/metrics"
@@ -53,6 +54,27 @@ type Config struct {
 	Interleave int
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Chaos, when non-nil, installs a deterministic fault injector with
+	// this configuration on the runtime (stalls, spurious aborts, delays,
+	// decision perturbation — see wincm/internal/chaos).
+	Chaos *chaos.Config
+	// MaxAttempts arms the STM's serialized-fallback attempt budget
+	// (0 = disabled).
+	MaxAttempts int
+	// TxDeadline arms the serialized-fallback deadline budget
+	// (0 = disabled).
+	TxDeadline time.Duration
+	// WatchdogInterval overrides the progress watchdog's sampling period
+	// (0 = the stm default). Deterministic-replay tests set this very
+	// large so wall-clock watchdog rescues can't perturb the fault
+	// schedule.
+	WatchdogInterval time.Duration
+}
+
+// watched reports whether the run needs a progress watchdog: any fault
+// injection or fallback budget implies we must prove liveness.
+func (c Config) watched() bool {
+	return c.Chaos != nil || c.MaxAttempts > 0 || c.TxDeadline > 0
 }
 
 // defaultInterleave is the opens-per-yield grain used when
@@ -71,12 +93,26 @@ func (c Config) interleave() int {
 	}
 }
 
-// stmOptions translates the Config into runtime options.
-func (c Config) stmOptions() []stm.Option {
+// stmOptions translates the Config into runtime options; the returned
+// injector is non-nil when fault injection is enabled.
+func (c Config) stmOptions() ([]stm.Option, *chaos.Injector) {
+	var opts []stm.Option
 	if c.Invisible {
-		return []stm.Option{stm.WithInvisibleReads()}
+		opts = append(opts, stm.WithInvisibleReads())
 	}
-	return nil
+	if c.MaxAttempts > 0 || c.TxDeadline > 0 {
+		opts = append(opts, stm.WithFallback(c.MaxAttempts, c.TxDeadline))
+	}
+	var inj *chaos.Injector
+	if c.Chaos != nil {
+		cfg := *c.Chaos
+		if cfg.Threads == 0 {
+			cfg.Threads = c.Threads
+		}
+		inj = chaos.New(cfg)
+		opts = append(opts, stm.WithProbe(inj))
+	}
+	return opts, inj
 }
 
 // NewManager builds the configured contention manager, routing window
@@ -98,6 +134,43 @@ type Result struct {
 	metrics.Summary
 }
 
+// instrument builds the runtime plus its optional fault injector and
+// watchdog for one run.
+func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *chaos.Injector, *stm.Watchdog) {
+	opts, inj := c.stmOptions()
+	rt := stm.New(c.Threads, mgr, opts...)
+	rt.SetYieldEvery(c.interleave())
+	var wd *stm.Watchdog
+	if c.watched() {
+		wd = rt.StartWatchdog(c.WatchdogInterval)
+	}
+	return rt, inj, wd
+}
+
+// finish stops the instrumentation, proves quiescence (no transaction
+// permanently stuck), runs the workload's invariant check, and folds the
+// robustness counters into the summary.
+func (c Config) finish(s *metrics.Summary, inj *chaos.Injector, wd *stm.Watchdog, w Workload) error {
+	if wd != nil {
+		wd.Stop()
+		s.WatchdogTrips = wd.Trips()
+		if !wd.Quiescent() {
+			return fmt.Errorf("harness: %s under %s not quiescent after join: a transaction is permanently stuck", w.Name(), c.Manager)
+		}
+	}
+	if inj != nil {
+		st := inj.Stats()
+		s.Stalls = st.Stalls
+		s.SpuriousAborts = st.SpuriousAborts
+		s.Delays = st.Delays
+		s.Perturbs = st.Perturbs
+	}
+	if err := w.Verify(); err != nil {
+		return fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), c.Manager, err)
+	}
+	return nil
+}
+
 // RunTimed executes w from cfg.Threads threads for roughly d and returns
 // the aggregated metrics. The workload is set up fresh by the caller.
 func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
@@ -105,8 +178,7 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt := stm.New(cfg.Threads, mgr, cfg.stmOptions()...)
-	rt.SetYieldEvery(cfg.interleave())
+	rt, inj, wd := cfg.instrument(mgr)
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)
@@ -129,10 +201,11 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	if err := w.Verify(); err != nil {
-		return Result{}, fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), cfg.Manager, err)
+	res := Result{Summary: metrics.Aggregate(per, wall)}
+	if err := cfg.finish(&res.Summary, inj, wd, w); err != nil {
+		return Result{}, err
 	}
-	return Result{Summary: metrics.Aggregate(per, wall)}, nil
+	return res, nil
 }
 
 // RunCount executes total transactions split evenly across cfg.Threads
@@ -143,8 +216,7 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt := stm.New(cfg.Threads, mgr, cfg.stmOptions()...)
-	rt.SetYieldEvery(cfg.interleave())
+	rt, inj, wd := cfg.instrument(mgr)
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)
@@ -171,10 +243,10 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	if err := w.Verify(); err != nil {
-		return Result{}, fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), cfg.Manager, err)
-	}
 	res := Result{Summary: metrics.Aggregate(per, wall)}
+	if err := cfg.finish(&res.Summary, inj, wd, w); err != nil {
+		return Result{}, err
+	}
 	if res.Commits != int64(total) {
 		return res, fmt.Errorf("harness: committed %d of %d transactions", res.Commits, total)
 	}

@@ -31,6 +31,13 @@ type Thread struct {
 	RespSum time.Duration
 	// CommitDurSum accumulates the durations of successful attempts.
 	CommitDurSum time.Duration
+	// FallbackEntries counts transactions that committed holding the
+	// serialized-fallback token (they exhausted their retry or deadline
+	// budget, or were rescued by the watchdog).
+	FallbackEntries int64
+	// MaxAttempts is the largest attempt count any single transaction
+	// needed — the tail the fallback budgets are meant to bound.
+	MaxAttempts int
 }
 
 // Record folds one committed transaction's TxInfo into the counters.
@@ -44,6 +51,12 @@ func (t *Thread) Record(info stm.TxInfo) {
 	t.Busy += info.Wasted + info.CommitDur
 	t.RespSum += info.Duration
 	t.CommitDurSum += info.CommitDur
+	if info.Fallback {
+		t.FallbackEntries++
+	}
+	if info.Attempts > t.MaxAttempts {
+		t.MaxAttempts = info.Attempts
+	}
 }
 
 // Summary is the aggregate of a whole run.
@@ -56,8 +69,17 @@ type Summary struct {
 	Commits, Aborts, RepeatAborts int64
 	// Wasted and Busy sum the per-thread execution times.
 	Wasted, Busy time.Duration
-	respSum      time.Duration
-	commitDurSum time.Duration
+	// FallbackEntries sums the per-thread serialized-fallback commits and
+	// MaxAttempts is the worst attempt count across all threads.
+	FallbackEntries int64
+	MaxAttempts     int
+	// Robustness counters filled in by the harness when fault injection
+	// or a watchdog is active (they are runtime-wide, not per-thread):
+	// faults injected by the chaos layer and watchdog no-progress trips.
+	Stalls, SpuriousAborts, Delays, Perturbs int64
+	WatchdogTrips                            int64
+	respSum                                  time.Duration
+	commitDurSum                             time.Duration
 }
 
 // Aggregate combines per-thread counters into a Summary for a run that
@@ -72,6 +94,10 @@ func Aggregate(threads []*Thread, wall time.Duration) Summary {
 		s.Busy += t.Busy
 		s.respSum += t.RespSum
 		s.commitDurSum += t.CommitDurSum
+		s.FallbackEntries += t.FallbackEntries
+		if t.MaxAttempts > s.MaxAttempts {
+			s.MaxAttempts = t.MaxAttempts
+		}
 	}
 	return s
 }

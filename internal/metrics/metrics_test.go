@@ -63,6 +63,48 @@ func TestAggregateAndDerivedMetrics(t *testing.T) {
 	}
 }
 
+// TestRecordRobustnessCounters: fallback entries and the max-attempts
+// high-water mark are folded per thread.
+func TestRecordRobustnessCounters(t *testing.T) {
+	var th metrics.Thread
+	th.Record(info(1, 0, time.Millisecond, time.Millisecond))
+	fb := info(9, time.Millisecond, 2*time.Millisecond, time.Millisecond)
+	fb.Fallback = true
+	th.Record(fb)
+	th.Record(info(3, 0, time.Millisecond, time.Millisecond))
+	if th.FallbackEntries != 1 {
+		t.Errorf("FallbackEntries = %d, want 1", th.FallbackEntries)
+	}
+	if th.MaxAttempts != 9 {
+		t.Errorf("MaxAttempts = %d, want 9", th.MaxAttempts)
+	}
+}
+
+// TestAggregateRobustnessCounters: Aggregate sums fallback entries across
+// threads, takes the worst MaxAttempts, and leaves the harness-filled
+// chaos counters (stalls, spurious aborts, watchdog trips) zeroed.
+func TestAggregateRobustnessCounters(t *testing.T) {
+	a, b, c := &metrics.Thread{}, &metrics.Thread{}, &metrics.Thread{}
+	fb := info(4, 0, time.Millisecond, time.Millisecond)
+	fb.Fallback = true
+	a.Record(fb)
+	a.Record(info(2, 0, time.Millisecond, time.Millisecond))
+	fb2 := info(17, 0, time.Millisecond, time.Millisecond)
+	fb2.Fallback = true
+	b.Record(fb2)
+	c.Record(info(1, 0, time.Millisecond, time.Millisecond))
+	s := metrics.Aggregate([]*metrics.Thread{a, b, c}, time.Second)
+	if s.FallbackEntries != 2 {
+		t.Errorf("FallbackEntries = %d, want 2", s.FallbackEntries)
+	}
+	if s.MaxAttempts != 17 {
+		t.Errorf("MaxAttempts = %d, want 17 (worst thread)", s.MaxAttempts)
+	}
+	if s.Stalls != 0 || s.SpuriousAborts != 0 || s.Delays != 0 || s.Perturbs != 0 || s.WatchdogTrips != 0 {
+		t.Errorf("chaos counters should be zero until the harness fills them: %+v", s)
+	}
+}
+
 func TestZeroValueSummaries(t *testing.T) {
 	var s metrics.Summary
 	if s.Throughput() != 0 || s.AbortsPerCommit() != 0 || s.WastedWork() != 0 {

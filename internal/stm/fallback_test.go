@@ -1,0 +1,150 @@
+package stm_test
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// starver is a contention manager that permanently victimizes thread 0:
+// whenever thread 0 is the attacker it aborts itself, and whenever it is
+// the enemy it is killed. Without the fallback token thread 0 can never
+// commit while others are active — the adversarial schedule Polka's
+// starvation risk amounts to. It consults FallbackResolve first, like
+// every real manager.
+type starver struct{ stm.NopManager }
+
+func (starver) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
+	if tx.D.ThreadID == 0 {
+		return stm.AbortSelf, 0
+	}
+	return stm.AbortEnemy, 0
+}
+
+// TestFallbackBreaksStarvation: under the starver manager, thread 0
+// exhausts its attempt budget, takes the serialized-fallback token and
+// commits anyway, with TxInfo reporting the fallback entry.
+func TestFallbackBreaksStarvation(t *testing.T) {
+	const budget = 4
+	rt := stm.New(2, starver{}, stm.WithFallback(budget, 0))
+	rt.SetYieldEvery(1)
+	v := stm.NewTVar(0)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Thread(1).Atomic(func(tx *stm.Tx) {
+					stm.Write(tx, v, stm.Read(tx, v)+1)
+				})
+			}
+		}
+	}()
+
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+1000)
+	})
+	close(stop)
+	<-done
+
+	// Committing at all is the liveness assertion (the starver would
+	// otherwise spin forever); past the budget the commit must have gone
+	// through the token.
+	if info.Attempts > budget && !info.Fallback {
+		t.Errorf("thread 0 committed after %d attempts (budget %d) without the fallback token", info.Attempts, budget)
+	}
+	if rt.FallbackHolder() != nil {
+		t.Errorf("fallback token still held after commit")
+	}
+	if got := v.Peek(); got < 1000 {
+		t.Errorf("counter = %d, want ≥ 1000 (thread 0's commit missing)", got)
+	}
+}
+
+// TestFallbackDeadlineBudget: the deadline budget alone (no attempt cap)
+// also arms the escape hatch.
+func TestFallbackDeadlineBudget(t *testing.T) {
+	const deadline = time.Millisecond
+	rt := stm.New(2, starver{}, stm.WithFallback(0, deadline))
+	v := stm.NewTVar(0)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Thread(1).Atomic(func(tx *stm.Tx) {
+					stm.Write(tx, v, stm.Read(tx, v)+1)
+					time.Sleep(50 * time.Microsecond) // hold v: force conflicts
+				})
+			}
+		}
+	}()
+	start := time.Now()
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+1)
+	})
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	// Returning is the liveness assertion; a long starvation stretch must
+	// have been broken by the deadline budget.
+	if elapsed > 50*deadline && !info.Fallback {
+		t.Errorf("thread 0 starved for %v (deadline %v) without entering fallback (%d attempts)", elapsed, deadline, info.Attempts)
+	}
+}
+
+// TestWatchdogRescuesStalledRuntime: a transaction that freezes mid-flight
+// longer than the watchdog interval trips the watchdog, is granted the
+// fallback token, and the runtime reports quiescence afterwards.
+func TestWatchdogRescuesStalledRuntime(t *testing.T) {
+	rt := stm.New(1, starver{})
+	wd := rt.StartWatchdog(time.Millisecond)
+	v := stm.NewTVar(0)
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, stm.Read(tx, v)+1)
+		if tx.D.Attempts == 1 {
+			time.Sleep(20 * time.Millisecond) // no commits while stalled
+		}
+	})
+	wd.Stop()
+	if wd.Trips() == 0 {
+		t.Errorf("watchdog saw a 20ms stall at 1ms interval but never tripped")
+	}
+	if !info.Fallback {
+		t.Errorf("stalled transaction was not granted the fallback token")
+	}
+	if !wd.Quiescent() {
+		t.Errorf("runtime not quiescent after all transactions returned")
+	}
+	if got := v.Peek(); got != 1 {
+		t.Errorf("counter = %d, want 1", got)
+	}
+}
+
+// TestWatchdogIdleRuntimeNoTrips: an idle runtime (no in-flight
+// transactions) never trips the watchdog.
+func TestWatchdogIdleRuntimeNoTrips(t *testing.T) {
+	rt := stm.New(1, starver{})
+	wd := rt.StartWatchdog(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	wd.Stop()
+	if n := wd.Trips(); n != 0 {
+		t.Errorf("idle runtime tripped the watchdog %d times", n)
+	}
+	if !wd.Quiescent() {
+		t.Errorf("idle runtime reported non-quiescent")
+	}
+}

@@ -45,6 +45,9 @@ type vread struct {
 // commit orders.
 func readInvisible[T any](tx *Tx, v *TVar[T]) T {
 	tx.maybeYield()
+	if p := tx.rt.probe; p != nil {
+		p.OnOpen(tx)
+	}
 	attempt := 0
 	for {
 		tx.checkAlive()

@@ -254,3 +254,40 @@ func TestInvisibleWriterUnseenByReaders(t *testing.T) {
 		t.Errorf("reader committed in %d attempts; expected a validation abort", readerAttempts)
 	}
 }
+
+// TestInvisibleSymmetricRetriesMakeProgress: two transactions that each
+// read both variables and write the other's form a write-skew cycle —
+// under invisible reads both fail strict commit validation and self-abort
+// with no contention-manager mediation to break the tie. On few cores the
+// symmetric retries can relock indefinitely; the runtime's randomized
+// retry backoff must desynchronize them so both eventually commit.
+func TestInvisibleSymmetricRetriesMakeProgress(t *testing.T) {
+	rt := invisibleRT(t, "polka", 2)
+	rt.SetYieldEvery(1) // maximize interleaving so the cycle actually forms
+	a, b := stm.NewTVar(0), stm.NewTVar(0)
+	const perThread = 200
+	vars := [2][2]*stm.TVar[int]{{a, b}, {b, a}}
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(th *stm.Thread, rd, wr *stm.TVar[int]) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				th.Atomic(func(tx *stm.Tx) {
+					stm.Read(tx, rd)
+					stm.Write(tx, wr, stm.Read(tx, wr)+1)
+				})
+			}
+		}(rt.Thread(id), vars[id][0], vars[id][1])
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("symmetric invisible-read transactions livelocked")
+	}
+	if got := a.Peek() + b.Peek(); got != 2*perThread {
+		t.Errorf("total = %d, want %d", got, 2*perThread)
+	}
+}

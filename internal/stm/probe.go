@@ -1,0 +1,47 @@
+package stm
+
+import "time"
+
+// Probe receives callbacks from the runtime's fault-injection points. It
+// exists so a chaos layer (wincm/internal/chaos) can inject delays, spurious
+// aborts, mid-flight stalls and contention-manager-decision perturbations
+// without the STM knowing anything about fault policies.
+//
+// All hooks except PerturbResolve run on the transaction's own thread, after
+// every variable lock has been released, so a probe may sleep for arbitrary
+// (finite) spans — that is exactly how stalls are simulated. A probe may
+// also abort the attempt with tx.Abort(); the runtime discovers the abort at
+// its next liveness check and restarts the attempt, indistinguishable from a
+// remote abort by an enemy.
+//
+// PerturbResolve runs on the attacker's thread immediately after the
+// contention manager returned its decision and may replace it. A perturbed
+// decision must stay finite (no unbounded waits) and must not override the
+// serialized-fallback token (see FallbackResolve) or it voids the runtime's
+// progress guarantee.
+type Probe interface {
+	// OnOpen runs at the start of every transactional open (read or
+	// write), before any conflict is resolved.
+	OnOpen(tx *Tx)
+	// OnAcquire runs right after the attempt newly acquired ownership of a
+	// variable — the most damaging moment to stall, because enemies must
+	// now remote-abort the attempt to make progress.
+	OnAcquire(tx *Tx)
+	// OnCommit runs at the start of commit, before read validation and the
+	// status CAS.
+	OnCommit(tx *Tx)
+	// OnAbort runs after an attempt aborted and released its objects.
+	OnAbort(tx *Tx)
+	// PerturbResolve may replace the contention manager's decision for one
+	// conflict. Implementations return dec and wait unchanged to pass.
+	PerturbResolve(tx, enemy *Tx, kind Kind, attempt int, dec Decision, wait time.Duration) (Decision, time.Duration)
+}
+
+// WithProbe installs a fault-injection probe on the runtime. The hot paths
+// pay one nil check when no probe is installed.
+func WithProbe(p Probe) Option {
+	return func(rt *Runtime) { rt.probe = p }
+}
+
+// Probe returns the installed probe, or nil.
+func (rt *Runtime) Probe() Probe { return rt.probe }

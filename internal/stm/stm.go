@@ -94,6 +94,13 @@ type Desc struct {
 	// Aux is a scratch word owned by the installed contention manager; the
 	// window managers pack their two-level priority vector into it.
 	Aux atomic.Uint64
+	// MaxAttempts is the attempt budget after which the transaction claims
+	// the serialized-fallback token (0 = unbounded). Seeded from the
+	// runtime's WithFallback configuration.
+	MaxAttempts int
+	// Deadline is the absolute time (ns since the package epoch) after
+	// which the transaction claims the fallback token (0 = none).
+	Deadline int64
 }
 
 // Tx is a single attempt of a logical transaction. A fresh Tx is allocated
@@ -127,6 +134,18 @@ type Runtime struct {
 	nextID     atomic.Uint64
 	yieldEvery atomic.Int64
 	invisible  bool
+
+	// probe is the optional fault-injection layer (see probe.go).
+	probe Probe
+	// commits counts committed transactions runtime-wide; the watchdog
+	// samples it to detect lack of progress.
+	commits atomic.Int64
+	// fallback holds the serialized-fallback token (see fallback.go).
+	fallback atomic.Pointer[Desc]
+	// maxAttempts and txDeadline are the fallback budgets new transactions
+	// inherit (WithFallback); zero disables the respective budget.
+	maxAttempts int
+	txDeadline  time.Duration
 }
 
 // New creates a runtime with m threads sharing the contention manager cm.
@@ -141,7 +160,7 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 	}
 	rt.threads = make([]*Thread, m)
 	for i := range rt.threads {
-		rt.threads[i] = &Thread{rt: rt, id: i}
+		rt.threads[i] = &Thread{rt: rt, id: i, boState: uint64(i)*0x9E3779B97F4A7C15 + 1}
 	}
 	return rt
 }
@@ -167,12 +186,20 @@ func (rt *Runtime) Manager() ContentionManager { return rt.cm }
 // scheduler preemption quanta and conflicts all but disappear.
 func (rt *Runtime) SetYieldEvery(k int) { rt.yieldEvery.Store(int64(k)) }
 
+// Commits returns the number of transactions committed runtime-wide.
+func (rt *Runtime) Commits() int64 { return rt.commits.Load() }
+
 // Thread issues transactions sequentially, mirroring the paper's model of a
 // thread P_i executing N transactions T_i1 … T_iN one after another.
 type Thread struct {
 	rt  *Runtime
 	id  int
 	seq int
+	// current is the in-flight transaction's descriptor, nil between
+	// transactions; the watchdog reads it to find starving transactions.
+	current atomic.Pointer[Desc]
+	// boState is the xorshift state of the invisible-read retry backoff.
+	boState uint64
 }
 
 // ID returns the thread index in [0, M).
@@ -191,6 +218,10 @@ type TxInfo struct {
 	Duration time.Duration
 	// CommitDur is the duration of the successful attempt only.
 	CommitDur time.Duration
+	// Fallback reports that the transaction held the serialized-fallback
+	// token when it committed (it exhausted its budgets or was rescued by
+	// the watchdog).
+	Fallback bool
 }
 
 // Aborts returns the number of aborted attempts.
@@ -204,17 +235,23 @@ type retrySignal struct{}
 // returns commit statistics. fn may be executed many times; it must not
 // have side effects outside TVar writes (the usual STM contract).
 func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
+	rt := t.rt
 	d := &Desc{
-		ThreadID: t.id,
-		Seq:      t.seq,
-		ID:       t.rt.nextID.Add(1),
-		Birth:    now(),
+		ThreadID:    t.id,
+		Seq:         t.seq,
+		ID:          rt.nextID.Add(1),
+		Birth:       now(),
+		MaxAttempts: rt.maxAttempts,
+	}
+	if rt.txDeadline > 0 {
+		d.Deadline = d.Birth + int64(rt.txDeadline)
 	}
 	t.seq++
-	cm := t.rt.cm
+	t.current.Store(d)
+	cm := rt.cm
 	var info TxInfo
 	for {
-		tx := &Tx{D: d, rt: t.rt}
+		tx := &Tx{D: d, rt: rt}
 		d.Attempts++
 		d.AttemptStart = now()
 		info.Attempts++
@@ -223,6 +260,14 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		end := now()
 		if committed {
 			cm.Committed(tx)
+			rt.commits.Add(1)
+			// Release the fallback token if this transaction held it —
+			// whether acquired below or granted by the watchdog.
+			if rt.fallback.Load() == d {
+				info.Fallback = true
+				rt.releaseFallback(d)
+			}
+			t.current.Store(nil)
 			info.Duration = time.Duration(end - d.Birth)
 			info.CommitDur = time.Duration(end - d.AttemptStart)
 			return info
@@ -234,6 +279,47 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		tx.cleanup()
 		info.Wasted += time.Duration(end - d.AttemptStart)
 		cm.Aborted(tx)
+		if p := rt.probe; p != nil {
+			p.OnAbort(tx)
+		}
+		// Invisible readers conflict only at validation time, where both
+		// sides self-abort with no contention-manager mediation; symmetric
+		// retries on few cores can repeat that cycle indefinitely. A
+		// randomized, attempt-scaled pause desynchronizes them.
+		if rt.invisible && rt.fallback.Load() != d {
+			t.invisibleBackoff(d.Attempts)
+		}
+		// Starvation escape hatch: once the budgets are exhausted, take
+		// the serialized-fallback token so the next attempt wins every
+		// conflict (fallback.go). Holding no objects here, so blocking on
+		// the current holder cannot deadlock.
+		if rt.fallback.Load() != d && rt.needFallback(d) {
+			rt.acquireFallback(d)
+		}
+	}
+}
+
+// invisibleBackoff sleeps for a random span in [0, 1µs << min(attempts-1,
+// 6)) drawn from the thread's private xorshift stream — long enough to
+// break retry lockstep between symmetric invisible-read transactions,
+// short enough to be invisible next to an aborted attempt's wasted work.
+func (t *Thread) invisibleBackoff(attempts int) {
+	const (
+		base   = time.Microsecond
+		maxExp = 6
+	)
+	n := attempts - 1
+	if n > maxExp {
+		n = maxExp
+	}
+	if n < 1 {
+		return // first retry: the schedule already shifted, don't pay a sleep
+	}
+	t.boState ^= t.boState << 13
+	t.boState ^= t.boState >> 7
+	t.boState ^= t.boState << 17
+	if span := time.Duration(t.boState % uint64(base<<uint(n))); span > 0 {
+		waitFor(span)
 	}
 }
 
@@ -258,6 +344,9 @@ func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
 // owned, so a successful validation followed by the status CAS is a
 // correct serialization point (see invisible.go).
 func (tx *Tx) commit() bool {
+	if p := tx.rt.probe; p != nil {
+		p.OnCommit(tx)
+	}
 	if tx.rt.invisible && !tx.validateReads(true) {
 		tx.status.CompareAndSwap(int32(Active), int32(Aborted))
 		return false
@@ -305,6 +394,9 @@ func (tx *Tx) checkAlive() {
 func (tx *Tx) resolve(enemy *Tx, kind Kind, attempt *int) {
 	*attempt++
 	dec, wait := tx.rt.cm.Resolve(tx, enemy, kind, *attempt)
+	if p := tx.rt.probe; p != nil {
+		dec, wait = p.PerturbResolve(tx, enemy, kind, *attempt, dec, wait)
+	}
 	switch dec {
 	case AbortEnemy:
 		enemy.Abort()

@@ -106,6 +106,9 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 		return readInvisible(tx, v)
 	}
 	tx.maybeYield()
+	if p := tx.rt.probe; p != nil {
+		p.OnOpen(tx)
+	}
 	attempt := 0
 	for {
 		tx.checkAlive()
@@ -148,6 +151,9 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 // resolved before the ownership is taken.
 func Write[T any](tx *Tx, v *TVar[T], val T) {
 	tx.maybeYield()
+	if p := tx.rt.probe; p != nil {
+		p.OnOpen(tx)
+	}
 	attempt := 0
 	for {
 		tx.checkAlive()
@@ -188,6 +194,9 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 		v.pending = val
 		v.mu.Unlock()
 		if opened {
+			if p := tx.rt.probe; p != nil {
+				p.OnAcquire(tx)
+			}
 			tx.rt.cm.Opened(tx)
 		}
 		return

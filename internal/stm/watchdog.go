@@ -1,0 +1,129 @@
+package stm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog monitors a runtime for lack of global progress. Every interval
+// it samples the runtime's commit counter; if no transaction committed
+// since the previous tick while transactions are in flight, the watchdog
+// "trips": it grants the serialized-fallback token to the oldest in-flight
+// transaction (if the token is free), forcing the system to drain through
+// the serialized path. This rescues schedules the budgets alone cannot —
+// e.g. a mutual-wait livelock among transactions that never abort and so
+// never reach the budget check.
+//
+// The watchdog also proves quiescence: after the workload's goroutines
+// have joined, Quiescent reports whether every thread has retired its
+// in-flight transaction and the fallback token is free — i.e. no
+// transaction is permanently stuck.
+type Watchdog struct {
+	rt          *Runtime
+	interval    time.Duration
+	trips       atomic.Int64
+	lastCommits int64
+	stop        chan struct{}
+	done        chan struct{}
+}
+
+// defaultWatchdogInterval is used when StartWatchdog is given a
+// non-positive interval.
+const defaultWatchdogInterval = 5 * time.Millisecond
+
+// StartWatchdog begins monitoring the runtime and returns the watchdog.
+// Call Stop before reading final statistics.
+func (rt *Runtime) StartWatchdog(interval time.Duration) *Watchdog {
+	if interval <= 0 {
+		interval = defaultWatchdogInterval
+	}
+	w := &Watchdog{
+		rt:       rt,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// run is the monitor loop.
+func (w *Watchdog) run() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.tick()
+		}
+	}
+}
+
+// tick performs one progress check.
+func (w *Watchdog) tick() {
+	rt := w.rt
+	rt.clearStaleFallback()
+	commits := rt.commits.Load()
+	progressed := commits != w.lastCommits
+	w.lastCommits = commits
+	if progressed {
+		return
+	}
+	oldest := w.oldestInflight()
+	if oldest == nil {
+		return // idle, not stuck
+	}
+	w.trips.Add(1)
+	// Grant the token to the oldest starver if it is free; if another
+	// transaction already holds it, it is the designated survivor and the
+	// system is draining through it — nothing more to do.
+	rt.fallback.CompareAndSwap(nil, oldest)
+}
+
+// oldestInflight returns the in-flight descriptor with the earliest birth,
+// or nil when the runtime is idle.
+func (w *Watchdog) oldestInflight() *Desc {
+	var oldest *Desc
+	for _, t := range w.rt.threads {
+		d := t.current.Load()
+		if d == nil {
+			continue
+		}
+		if oldest == nil || d.Birth < oldest.Birth ||
+			(d.Birth == oldest.Birth && d.ID < oldest.ID) {
+			oldest = d
+		}
+	}
+	return oldest
+}
+
+// Stop terminates the monitor loop and waits for it to exit.
+func (w *Watchdog) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// Trips returns the number of no-progress intervals observed.
+func (w *Watchdog) Trips() int64 { return w.trips.Load() }
+
+// Quiescent reports whether the runtime has fully drained: no thread has a
+// transaction in flight and the fallback token is free. Harness runs call
+// it after joining all workers to prove no transaction is permanently
+// stuck.
+func (w *Watchdog) Quiescent() bool {
+	rt := w.rt
+	for _, t := range rt.threads {
+		if t.current.Load() != nil {
+			return false
+		}
+	}
+	rt.clearStaleFallback()
+	return rt.fallback.Load() == nil
+}
