@@ -8,12 +8,19 @@
 //	winbench -fig all          everything above
 //	winbench -fig trace        ASCII execution timeline of one traced run
 //	winbench -fig chaos        robustness matrix under fault injection
+//	winbench -fig telemetry    interval time series + histogram quantiles
 //
 // Defaults are CI-friendly; -paper restores the published regime
 // (10-second runs averaged over 6 repetitions, threads up to 32).
 // -chaos layers deterministic fault injection (stalls, spurious aborts,
 // delays, decision perturbation) onto whichever figure runs; -fig chaos
 // runs the dedicated every-manager robustness sweep.
+//
+// -telemetry-addr starts the live observability endpoint and turns every
+// run into an inspectable service: Prometheus text on /metrics, expvar
+// JSON on /debug/vars, and the full net/http/pprof surface (CPU, heap,
+// block, mutex profiles) on /debug/pprof/. Each experiment cell installs
+// a fresh registry, so a scrape always reads the cell in flight.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"wincm/internal/bench"
 	"wincm/internal/harness"
 	"wincm/internal/stm"
+	"wincm/internal/telemetry"
 	"wincm/internal/trace"
 )
 
@@ -51,6 +59,12 @@ func main() {
 		stallProb  = flag.Float64("stall-prob", 0, "per-open probability of a mid-flight stall holding acquired objects (0 = chaos default of 1%)")
 		maxAtt     = flag.Int("max-attempts", 0, "retry budget before a transaction takes the serialized fallback (0 = chaos default of 64; negative disables)")
 		txDeadline = flag.Duration("tx-deadline", 0, "wall-clock budget before a transaction takes the serialized fallback (0 = chaos default of 250ms; negative disables)")
+
+		telAddr     = flag.String("telemetry-addr", "", "serve live telemetry on this address: Prometheus /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/ (empty = off)")
+		telInterval = flag.Duration("telemetry-interval", 0, "sampling period of the -fig telemetry time series (0 = duration/16)")
+		telManager  = flag.String("telemetry-manager", "", "contention manager the -fig telemetry run watches (default adaptive-improved-dynamic)")
+		telJSONL    = flag.String("telemetry-jsonl", "", "write the -fig telemetry interval series to this file as JSONL")
+		telCSV      = flag.String("telemetry-csv", "", "write the -fig telemetry interval series to this file as CSV")
 	)
 	flag.Parse()
 
@@ -67,10 +81,25 @@ func main() {
 		StallProb:   *stallProb,
 		MaxAttempts: *maxAtt,
 		TxDeadline:  *txDeadline,
+
+		TelemetryInterval: *telInterval,
+		TelemetryManager:  *telManager,
+		TelemetryJSONL:    *telJSONL,
+		TelemetryCSV:      *telCSV,
 	}
 	if *paper {
 		opts.Duration = 10 * time.Second
 		opts.Reps = 6
+	}
+	if *telAddr != "" {
+		hub := telemetry.NewHub()
+		srv, bound, err := telemetry.Serve(*telAddr, hub)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer srv.Close()
+		opts.Hub = hub
+		fmt.Fprintf(os.Stderr, "winbench: telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", bound)
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -91,19 +120,20 @@ func main() {
 	}
 
 	drivers := map[string]func(harness.Options) ([]harness.Table, error){
-		"2":     harness.Fig2,
-		"3":     harness.Fig3,
-		"4":     harness.Fig4,
-		"5":     harness.Fig5,
-		"ext":   harness.Extended,
-		"chaos": harness.ChaosSweep,
+		"2":         harness.Fig2,
+		"3":         harness.Fig3,
+		"4":         harness.Fig4,
+		"5":         harness.Fig5,
+		"ext":       harness.Extended,
+		"chaos":     harness.ChaosSweep,
+		"telemetry": harness.TelemetryFig,
 	}
 	order := []string{"2", "3", "4", "5", "ext"}
 
 	run := func(name string) {
 		driver, ok := drivers[name]
 		if !ok {
-			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos or all)", name)
+			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos, telemetry or all)", name)
 		}
 		tables, err := driver(opts)
 		if err != nil {

@@ -1,9 +1,11 @@
 package cm
 
 import (
+	"sync/atomic"
 	"time"
 
 	"wincm/internal/stm"
+	"wincm/internal/telemetry"
 )
 
 // Backoff timing shared by Polite, Backoff and Polka. The DSTM2 managers
@@ -57,6 +59,12 @@ func (p *Polite) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Dec
 // the STM analogue of test-and-test-and-set spinlock backoff.
 type Backoff struct {
 	stm.NopManager
+	// waits and waitNs count the restart delays paid in Begin. Those
+	// sleeps happen outside the runtime's Resolve path, so the telemetry
+	// probe's wait histogram never sees them; the manager publishes them
+	// itself through TelemetryGauges.
+	waits  atomic.Int64
+	waitNs atomic.Int64
 }
 
 // NewBackoff returns a Backoff manager.
@@ -74,7 +82,22 @@ func (b *Backoff) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.De
 // the number of prior aborts.
 func (b *Backoff) Begin(tx *stm.Tx) {
 	if n := tx.D.Attempts - 1; n > 0 {
-		sleepFor(backoffSpan(n))
+		span := backoffSpan(n)
+		b.waits.Add(1)
+		b.waitNs.Add(int64(span))
+		sleepFor(span)
+	}
+}
+
+var _ telemetry.GaugeSource = (*Backoff)(nil)
+
+// TelemetryGauges implements telemetry.GaugeSource.
+func (b *Backoff) TelemetryGauges() []telemetry.Gauge {
+	return []telemetry.Gauge{
+		telemetry.NewGauge("wincm_backoff_restart_waits", "restart delays paid before re-attempts",
+			func() float64 { return float64(b.waits.Load()) }),
+		telemetry.NewGauge("wincm_backoff_restart_wait_ns", "total restart delay time",
+			func() float64 { return float64(b.waitNs.Load()) }),
 	}
 }
 

@@ -160,6 +160,26 @@ func (c *frameClock) commitAt(f int64) {
 	c.mu.Unlock()
 }
 
+// occupancy reports the dynamic clock's live scheduling state: how many
+// not-yet-committed transactions are registered in the current frame and
+// across all frames. Static clocks track no registrations and report
+// zeros. Safe to call from any goroutine (telemetry gauges sample it).
+func (c *frameClock) occupancy() (curPending, totalPending int64) {
+	if !c.dynamic {
+		return 0, 0
+	}
+	cur := c.cur.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for f, n := range c.pending {
+		totalPending += n
+		if f == cur {
+			curPending = n
+		}
+	}
+	return curPending, totalPending
+}
+
 // decLocked decrements pending[f] and contracts if the current frame
 // drained. Callers hold c.mu.
 func (c *frameClock) decLocked(f int64) {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+
+	"wincm/internal/telemetry"
+)
+
+// PriorityCollisions returns how many Resolve calls found both sides with
+// identical (π⁽¹⁾, π⁽²⁾) priority vectors, so only the ID tie-break
+// decided. RandomizedRounds' O(log n) bound assumes such collisions are
+// rare; the counter lets a run check that live.
+func (m *Manager) PriorityCollisions() int64 { return m.collisions.Load() }
+
+// estimateStats folds the published per-thread contention estimates into
+// (mean, max). Reads only the atomically published mirrors, so it is safe
+// during a run.
+func (m *Manager) estimateStats() (mean, max float64) {
+	if len(m.threads) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, st := range m.threads {
+		c := math.Float64frombits(st.cPub.Load())
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	return sum / float64(len(m.threads)), max
+}
+
+var _ telemetry.GaugeSource = (*Manager)(nil)
+
+// TelemetryGauges implements telemetry.GaugeSource: the live view of the
+// window machinery the paper's analysis reasons about — the frame clock,
+// frame occupancy (dynamic mode), the calibrated frame/τ̂ durations, the
+// per-thread contention estimates and the window size α they induce, bad
+// events, and priority collisions. All values are read from atomics or
+// under the frame clock's own mutex, so scraping mid-run is race-free.
+func (m *Manager) TelemetryGauges() []telemetry.Gauge {
+	return []telemetry.Gauge{
+		telemetry.NewGauge("wincm_window_frame", "current frame index of the window manager's clock",
+			func() float64 { return float64(m.clock.Current()) }),
+		telemetry.NewGauge("wincm_window_frame_pending", "scheduled transactions not yet committed in the current frame (dynamic mode)",
+			func() float64 { cur, _ := m.clock.occupancy(); return float64(cur) }),
+		telemetry.NewGauge("wincm_window_registered_pending", "scheduled transactions not yet committed across all frames (dynamic mode)",
+			func() float64 { _, tot := m.clock.occupancy(); return float64(tot) }),
+		telemetry.NewGauge("wincm_window_frame_dur_ns", "calibrated frame duration Φ = scale·τ̂·ln(MN)",
+			func() float64 { return float64(m.frameDur()) }),
+		telemetry.NewGauge("wincm_window_tau_ns", "EWMA of committed-attempt durations (τ̂)",
+			func() float64 { return float64(m.tauNs.Load()) }),
+		telemetry.NewGauge("wincm_window_c_mean", "mean per-thread contention estimate C_i",
+			func() float64 { mean, _ := m.estimateStats(); return mean }),
+		telemetry.NewGauge("wincm_window_c_max", "max per-thread contention estimate C_i",
+			func() float64 { _, max := m.estimateStats(); return max }),
+		telemetry.NewGauge("wincm_window_alpha_max", "window size α_i = min(N, C_i/ln(MN)) induced by the largest estimate",
+			func() float64 {
+				_, max := m.estimateStats()
+				return float64(alpha(max, m.cfg.M, m.cfg.N))
+			}),
+		telemetry.NewGauge("wincm_window_commits", "transactions committed under this window manager",
+			func() float64 { return float64(m.commits.Load()) }),
+		telemetry.NewGauge("wincm_window_bad_events", "transactions that missed their assigned frame",
+			func() float64 { return float64(m.bads.Load()) }),
+		telemetry.NewGauge("wincm_window_fallback_commits", "commits made holding the serialized-fallback token",
+			func() float64 { return float64(m.fallbacks.Load()) }),
+		telemetry.NewGauge("wincm_window_priority_collisions", "conflicts whose priority vectors tied (ID tie-break decided)",
+			func() float64 { return float64(m.collisions.Load()) }),
+	}
+}

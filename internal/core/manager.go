@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,16 @@ type threadState struct {
 	assigned   int64   // absolute assigned frame of the current transaction
 	registered []int64 // frames registered with the clock, for unregistering
 	badEvents  int     // diagnostics: bad events seen by this thread
+
+	// cPub mirrors est.value() as float bits so telemetry gauges can read
+	// the contention estimate from any goroutine; only the owner thread
+	// stores it (publishC), at every point the estimate can change.
+	cPub atomic.Uint64
+}
+
+// publishC republishes the thread's contention estimate for gauge readers.
+func (st *threadState) publishC() {
+	st.cPub.Store(math.Float64bits(st.est.value()))
 }
 
 // Manager is the window-based contention manager. It implements
@@ -49,10 +60,11 @@ type Manager struct {
 	patience int
 	clock    *frameClock
 	threads  []*threadState
-	tauNs     atomic.Int64 // EWMA of committed-attempt durations
-	commits   atomic.Int64
-	bads      atomic.Int64 // total bad events (transactions missing frames)
-	fallbacks atomic.Int64 // commits made while holding the fallback token
+	tauNs      atomic.Int64 // EWMA of committed-attempt durations
+	commits    atomic.Int64
+	bads       atomic.Int64 // total bad events (transactions missing frames)
+	fallbacks  atomic.Int64 // commits made while holding the fallback token
+	collisions atomic.Int64 // Resolve calls whose priority vectors tied
 }
 
 var _ stm.ContentionManager = (*Manager)(nil)
@@ -87,6 +99,7 @@ func NewManager(cfg Config) *Manager {
 			rng: master.Split(),
 			est: newEstimator(cfg.Estimator, float64(cfg.InitialC)),
 		}
+		m.threads[i].publishC()
 	}
 	return m
 }
@@ -228,6 +241,7 @@ func (m *Manager) Committed(tx *stm.Tx) {
 		st.est.onWindowEnd(st.badEvents > 0)
 		st.badEvents = 0
 	}
+	st.publishC()
 }
 
 // Aborted implements stm.ContentionManager: redraw π⁽²⁾ (unless the
@@ -258,6 +272,12 @@ func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.De
 	cur := m.clock.Current()
 	mine := m.prio(cur, tx.D)
 	theirs := m.prio(cur, enemy.D)
+	if mine == theirs {
+		// Both sides drew the same (π⁽¹⁾, π⁽²⁾) vector; only the ID
+		// tie-break decides. RandomizedRounds' analysis assumes these
+		// collisions are rare — telemetry makes the assumption checkable.
+		m.collisions.Add(1)
+	}
 	if mine < theirs || (mine == theirs && tx.D.ID < enemy.D.ID) {
 		return stm.AbortEnemy, 0
 	}

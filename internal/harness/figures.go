@@ -11,6 +11,7 @@ import (
 	"wincm/internal/chaos"
 	"wincm/internal/core"
 	"wincm/internal/stats"
+	"wincm/internal/telemetry"
 )
 
 // WindowVariantNames lists the paper's STM-runnable window variants
@@ -68,6 +69,21 @@ type Options struct {
 	// TxDeadline overrides the fallback deadline budget in chaos runs
 	// (0 = default 250ms; negative disables the budget).
 	TxDeadline time.Duration
+	// Hub, when non-nil, receives a fresh telemetry registry for every
+	// experiment cell, so a long figure sweep is scrapeable live: the
+	// winbench -telemetry-addr endpoint always serves the cell currently
+	// running.
+	Hub *telemetry.Hub
+	// TelemetryInterval is the sampling period of the TelemetryFig time
+	// series (0 = derived from Duration).
+	TelemetryInterval time.Duration
+	// TelemetryManager is the manager the TelemetryFig run watches
+	// (default adaptive-improved-dynamic, the variant with the most
+	// internal machinery to observe).
+	TelemetryManager string
+	// TelemetryJSONL and TelemetryCSV, when non-empty, are files the
+	// TelemetryFig interval series is exported to.
+	TelemetryJSONL, TelemetryCSV string
 }
 
 // defaultChaosAttempts and defaultChaosDeadline are the fallback budgets
@@ -117,10 +133,12 @@ func (o Options) chaosBudgets() (maxAttempts int, deadline time.Duration) {
 }
 
 // config builds one experiment cell's Config, carrying the chaos settings
-// so every figure can be reproduced under fault load.
+// so every figure can be reproduced under fault load. With a Hub attached,
+// every cell gets a fresh telemetry registry and installs it as the one
+// live scrapes read.
 func (o Options) config(manager string, threads int, seed uint64) Config {
 	maxAttempts, deadline := o.chaosBudgets()
-	return Config{
+	cfg := Config{
 		Manager:     manager,
 		Threads:     threads,
 		WindowN:     o.WindowN,
@@ -130,6 +148,11 @@ func (o Options) config(manager string, threads int, seed uint64) Config {
 		MaxAttempts: maxAttempts,
 		TxDeadline:  deadline,
 	}
+	if o.Hub != nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+		o.Hub.Install(cfg.Telemetry)
+	}
+	return cfg
 }
 
 func (o Options) withDefaults() Options {

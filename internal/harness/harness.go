@@ -16,6 +16,7 @@ import (
 	"wincm/internal/core"
 	"wincm/internal/metrics"
 	"wincm/internal/stm"
+	"wincm/internal/telemetry"
 )
 
 // Runner executes one transaction on th and returns its commit statistics.
@@ -69,6 +70,16 @@ type Config struct {
 	// large so wall-clock watchdog rescues can't perturb the fault
 	// schedule.
 	WatchdogInterval time.Duration
+	// Telemetry, when non-nil, receives this run's live instruments: the
+	// transaction counters and histograms, the hot-path probe, the
+	// manager's introspection gauges (for telemetry.GaugeSource
+	// managers), and — when chaos or a watchdog is active — their fault
+	// and trip counters. nil disables telemetry entirely (zero hot-path
+	// cost beyond the existing probe nil check).
+	Telemetry *telemetry.Registry
+	// TelemetryInterval starts an interval sampler on the Telemetry
+	// registry, producing Result.Series (0 = no sampling).
+	TelemetryInterval time.Duration
 }
 
 // watched reports whether the run needs a progress watchdog: any fault
@@ -94,7 +105,8 @@ func (c Config) interleave() int {
 }
 
 // stmOptions translates the Config into runtime options; the returned
-// injector is non-nil when fault injection is enabled.
+// injector is non-nil when fault injection is enabled. The probe is NOT
+// installed here — instrument combines it with the telemetry probe first.
 func (c Config) stmOptions() ([]stm.Option, *chaos.Injector) {
 	var opts []stm.Option
 	if c.Invisible {
@@ -110,7 +122,6 @@ func (c Config) stmOptions() ([]stm.Option, *chaos.Injector) {
 			cfg.Threads = c.Threads
 		}
 		inj = chaos.New(cfg)
-		opts = append(opts, stm.WithProbe(inj))
 	}
 	return opts, inj
 }
@@ -132,33 +143,112 @@ func (c Config) NewManager() (stm.ContentionManager, error) {
 // Result is the outcome of one run.
 type Result struct {
 	metrics.Summary
+	// Series is the interval time series sampled during the run, present
+	// when Config.Telemetry and Config.TelemetryInterval were set.
+	Series []telemetry.Point
 }
 
-// instrument builds the runtime plus its optional fault injector and
-// watchdog for one run.
-func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *chaos.Injector, *stm.Watchdog) {
+// instruments bundles one run's observability plumbing: the fault
+// injector, the progress watchdog, the telemetry transaction stats the
+// worker loops record into, and the interval sampler.
+type instruments struct {
+	inj     *chaos.Injector
+	wd      *stm.Watchdog
+	tx      *telemetry.TxStats
+	sampler *telemetry.Sampler
+}
+
+// record folds one committed transaction into the telemetry layer (the
+// per-thread metrics.Thread is recorded by the caller).
+func (ins *instruments) record(id int, info stm.TxInfo) {
+	if ins.tx != nil {
+		ins.tx.RecordTx(id, info)
+	}
+}
+
+// instrument builds the runtime plus the run's instruments: fault
+// injector and telemetry probe share the runtime's single probe slot
+// (injector first, so telemetry observes the schedule that actually
+// executes), manager/chaos/watchdog gauges land in the telemetry
+// registry, and the interval sampler starts last so its first point sees
+// every instrument registered.
+func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *instruments) {
 	opts, inj := c.stmOptions()
+	ins := &instruments{inj: inj}
+	var probe stm.Probe
+	if inj != nil {
+		probe = inj
+	}
+	if reg := c.Telemetry; reg != nil {
+		ins.tx = telemetry.NewTxStats(reg, c.Threads)
+		probe = stm.CombineProbes(probe, telemetry.NewProbe(reg, c.Threads))
+		if gs, ok := mgr.(telemetry.GaugeSource); ok {
+			reg.RegisterGauges(gs)
+		}
+		if inj != nil {
+			registerChaosGauges(reg, inj)
+		}
+	}
+	if probe != nil {
+		opts = append(opts, stm.WithProbe(probe))
+	}
 	rt := stm.New(c.Threads, mgr, opts...)
 	rt.SetYieldEvery(c.interleave())
-	var wd *stm.Watchdog
 	if c.watched() {
-		wd = rt.StartWatchdog(c.WatchdogInterval)
+		ins.wd = rt.StartWatchdog(c.WatchdogInterval)
 	}
-	return rt, inj, wd
+	if reg := c.Telemetry; reg != nil {
+		reg.RegisterGauge(telemetry.NewGauge("wincm_fallback_held",
+			"1 while a transaction holds the serialized-fallback token",
+			func() float64 {
+				if rt.FallbackHolder() != nil {
+					return 1
+				}
+				return 0
+			}))
+		if wd := ins.wd; wd != nil {
+			reg.RegisterGauge(telemetry.NewGauge("wincm_watchdog_trips",
+				"no-progress intervals observed by the watchdog",
+				func() float64 { return float64(wd.Trips()) }))
+		}
+		if c.TelemetryInterval > 0 {
+			ins.sampler = telemetry.StartSampler(reg, c.TelemetryInterval, 0)
+		}
+	}
+	return rt, ins
+}
+
+// registerChaosGauges exposes the fault injector's live counters so one
+// scrape covers the chaos layer and the telemetry layer together.
+func registerChaosGauges(reg *telemetry.Registry, inj *chaos.Injector) {
+	reg.RegisterGauge(telemetry.NewGauge("wincm_chaos_stalls",
+		"mid-flight stalls injected", func() float64 { return float64(inj.Stats().Stalls) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_chaos_spurious_aborts",
+		"attempts killed spuriously", func() float64 { return float64(inj.Stats().SpuriousAborts) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_chaos_delays",
+		"randomized delays injected", func() float64 { return float64(inj.Stats().Delays) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_chaos_perturbs",
+		"contention-manager decisions replaced", func() float64 { return float64(inj.Stats().Perturbs) }))
 }
 
 // finish stops the instrumentation, proves quiescence (no transaction
 // permanently stuck), runs the workload's invariant check, and folds the
-// robustness counters into the summary.
-func (c Config) finish(s *metrics.Summary, inj *chaos.Injector, wd *stm.Watchdog, w Workload) error {
-	if wd != nil {
+// robustness counters into the summary. The sampler stops first so its
+// final point still sees the watchdog and injector live.
+func (c Config) finish(res *Result, ins *instruments, w Workload) error {
+	if ins.sampler != nil {
+		ins.sampler.Stop()
+		res.Series = ins.sampler.Points()
+	}
+	s := &res.Summary
+	if wd := ins.wd; wd != nil {
 		wd.Stop()
 		s.WatchdogTrips = wd.Trips()
 		if !wd.Quiescent() {
 			return fmt.Errorf("harness: %s under %s not quiescent after join: a transaction is permanently stuck", w.Name(), c.Manager)
 		}
 	}
-	if inj != nil {
+	if inj := ins.inj; inj != nil {
 		st := inj.Stats()
 		s.Stalls = st.Stalls
 		s.SpuriousAborts = st.SpuriousAborts
@@ -178,7 +268,7 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt, inj, wd := cfg.instrument(mgr)
+	rt, ins := cfg.instrument(mgr)
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)
@@ -192,7 +282,9 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 			defer wg.Done()
 			run := w.NewRunner(id, cfg.Seed+uint64(id)*7919)
 			for !stop.Load() {
-				mt.Record(run(th))
+				info := run(th)
+				mt.Record(info)
+				ins.record(id, info)
 			}
 		}(i, rt.Thread(i), per[i])
 	}
@@ -202,7 +294,7 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 	wall := time.Since(start)
 
 	res := Result{Summary: metrics.Aggregate(per, wall)}
-	if err := cfg.finish(&res.Summary, inj, wd, w); err != nil {
+	if err := cfg.finish(&res, ins, w); err != nil {
 		return Result{}, err
 	}
 	return res, nil
@@ -216,7 +308,7 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt, inj, wd := cfg.instrument(mgr)
+	rt, ins := cfg.instrument(mgr)
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)
@@ -236,7 +328,9 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 			defer wg.Done()
 			run := w.NewRunner(id, cfg.Seed+uint64(id)*7919)
 			for n := quota(id); n > 0; n-- {
-				mt.Record(run(th))
+				info := run(th)
+				mt.Record(info)
+				ins.record(id, info)
 			}
 		}(i, rt.Thread(i), per[i])
 	}
@@ -244,7 +338,7 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 	wall := time.Since(start)
 
 	res := Result{Summary: metrics.Aggregate(per, wall)}
-	if err := cfg.finish(&res.Summary, inj, wd, w); err != nil {
+	if err := cfg.finish(&res, ins, w); err != nil {
 		return Result{}, err
 	}
 	if res.Commits != int64(total) {

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wincm/internal/metrics"
+	"wincm/internal/telemetry"
+)
+
+// defaultTelemetryManager is the TelemetryFig subject when Options leaves
+// it unset: the adaptive variant with dynamic frames has the most
+// internal state worth watching (estimate growth and decay, frame
+// contraction, priority redraws).
+const defaultTelemetryManager = "adaptive-improved-dynamic"
+
+// telemetrySeriesPoints is how many interval samples the TelemetryFig
+// run aims for when no explicit interval is configured.
+const telemetrySeriesPoints = 16
+
+// TelemetryFig runs one benchmark under one manager with full telemetry —
+// hot-path probe, transaction histograms, window-manager gauges, interval
+// sampler — and renders two tables: the interval time series (live
+// throughput, abort rate, fallback and window-machinery evolution) and
+// the final latency-histogram quantiles. With Options.Hub attached the
+// run is simultaneously scrapeable over HTTP while it executes.
+func TelemetryFig(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	benchmark := o.Benchmarks[0]
+	manager := o.TelemetryManager
+	if manager == "" {
+		manager = defaultTelemetryManager
+	}
+	threads := o.Threads[len(o.Threads)-1]
+	interval := o.TelemetryInterval
+	if interval <= 0 {
+		interval = o.Duration / telemetrySeriesPoints
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+	}
+
+	w, err := NewWorkload(benchmark, o.throughputMix(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.config(manager, threads, o.Seed)
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	cfg.TelemetryInterval = interval
+	res, err := RunTimed(cfg, w, o.Duration)
+	if err != nil {
+		return nil, err
+	}
+	if err := exportSeries(o, res.Series); err != nil {
+		return nil, err
+	}
+
+	tables := []Table{
+		seriesTable(res.Series, benchmark, manager, threads),
+		quantileTable(cfg.Telemetry.Snapshot(), benchmark, manager, threads),
+	}
+	return tables, nil
+}
+
+// exportSeries writes the interval series to the files Options names.
+func exportSeries(o Options, pts []telemetry.Point) error {
+	write := func(path string, fn func(io.Writer, []telemetry.Point) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f, pts); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(o.TelemetryJSONL, telemetry.WriteJSONL); err != nil {
+		return err
+	}
+	return write(o.TelemetryCSV, telemetry.WriteCSV)
+}
+
+// seriesCounter reads a cumulative counter out of a point, 0 if absent.
+func seriesCounter(p telemetry.Point, name string) int64 { return p.Counters[name] }
+
+// seriesTable renders the interval series: per-interval commit/abort
+// rates plus the window gauges' trajectory. Rates are deltas between
+// consecutive points over the interval span.
+func seriesTable(pts []telemetry.Point, benchmark, manager string, threads int) Table {
+	t := Table{
+		Title: fmt.Sprintf("Telemetry: interval series — %s under %s, M=%d", benchmark, manager, threads),
+		Columns: []string{"t_ms", "commits/s", "aborts/commit", "fallbacks",
+			"wd-trips", "frame", "frame-pending", "C-max", "alpha-max", "collisions"},
+	}
+	var prev telemetry.Point
+	for i, p := range pts {
+		span := (p.At - prev.At).Seconds()
+		if span <= 0 {
+			continue
+		}
+		dCommits := seriesCounter(p, "wincm_commits_total") - seriesCounter(prev, "wincm_commits_total")
+		dAborts := seriesCounter(p, "wincm_aborts_total") - seriesCounter(prev, "wincm_aborts_total")
+		apc := 0.0
+		if dCommits > 0 {
+			apc = float64(dAborts) / float64(dCommits)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.At.Milliseconds()),
+			fmt.Sprintf("%.0f", float64(dCommits)/span),
+			fmt.Sprintf("%.2f", apc),
+			fmt.Sprintf("%d", seriesCounter(p, "wincm_fallback_commits_total")),
+			fmt.Sprintf("%.0f", p.Gauges["wincm_watchdog_trips"]),
+			fmt.Sprintf("%.0f", p.Gauges["wincm_window_frame"]),
+			fmt.Sprintf("%.0f", p.Gauges["wincm_window_frame_pending"]),
+			fmt.Sprintf("%.1f", p.Gauges["wincm_window_c_max"]),
+			fmt.Sprintf("%.0f", p.Gauges["wincm_window_alpha_max"]),
+			fmt.Sprintf("%.0f", p.Gauges["wincm_window_priority_collisions"]),
+		})
+		prev = pts[i]
+	}
+	return t
+}
+
+// quantileTable renders the final histogram quantiles plus the live
+// summary derived from the same snapshot (metrics as a telemetry
+// consumer).
+func quantileTable(snap telemetry.Snapshot, benchmark, manager string, threads int) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Telemetry: final histograms — %s under %s, M=%d", benchmark, manager, threads),
+		Columns: []string{"histogram", "count", "mean", "p50<=", "p99<="},
+	}
+	for _, name := range []string{
+		"wincm_response_ns", "wincm_commit_duration_ns", "wincm_tx_attempts", "wincm_cm_wait_ns",
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("%.0f", h.Mean()),
+			fmt.Sprintf("%d", h.Quantile(0.5)),
+			fmt.Sprintf("%d", h.Quantile(0.99)),
+		})
+	}
+	s := metrics.FromSnapshot(snap, threads, 0)
+	t.Rows = append(t.Rows, []string{
+		"(aborts/commit from snapshot)", fmt.Sprintf("%d", s.Commits),
+		fmt.Sprintf("%.3f", s.AbortsPerCommit()), "-", "-",
+	})
+	return t
+}

@@ -3,12 +3,42 @@
 // execution time, and the Section-IV extension metrics — wasted work,
 // repeat conflicts, average committed-transaction duration and average
 // response time.
+//
+// # Time accounting
+//
+// All durations derive from stm.TxInfo, whose fields partition a logical
+// transaction's lifetime as follows:
+//
+//   - Duration is the response time: the transaction's first attempt start
+//     (Desc.Birth) to its commit. It contains everything below.
+//   - Wasted is the sum over aborted attempts of (attempt end − attempt
+//     start). Contention-manager waits taken *during* an aborted attempt —
+//     including the waits of its final, losing conflict — fall inside the
+//     attempt's span and are therefore part of Wasted.
+//   - CommitDur is the span of the successful attempt only, again
+//     including any CM waits taken during it.
+//   - Duration − Wasted − CommitDur is the inter-attempt overhead: restart
+//     backoff a manager pays in Begin (cm.Backoff), the invisible-read
+//     retry backoff, and time queued for the serialized-fallback token.
+//     No TxInfo field names it; it is recoverable by subtraction.
+//
+// Thread.Busy is defined as the total time the thread dedicated to its
+// transactions — exactly the sum of Duration. An earlier definition summed
+// only Wasted + CommitDur, silently dropping the inter-attempt overhead
+// (and with it the CM backoff between a losing attempt and the next), which
+// understated Busy and overstated WastedWork under backoff-heavy managers.
+//
+// For live, time-resolved views of the same quantities see
+// wincm/internal/telemetry; FromSnapshot converts one of its snapshots
+// into a Summary, making this package a thin consumer of the telemetry
+// layer wherever a run is observed mid-flight.
 package metrics
 
 import (
 	"time"
 
 	"wincm/internal/stm"
+	"wincm/internal/telemetry"
 )
 
 // Thread accumulates the statistics of one worker thread. It is not
@@ -25,7 +55,10 @@ type Thread struct {
 	RepeatAborts int64
 	// Wasted is the total time spent in attempts that aborted.
 	Wasted time.Duration
-	// Busy is the total time spent executing attempts (useful + wasted).
+	// Busy is the total time dedicated to transactions: aborted attempts,
+	// the successful attempt, and the inter-attempt overhead between them
+	// (restart backoff, fallback queuing) — i.e. the sum of response
+	// times. See the package comment for the exact accounting.
 	Busy time.Duration
 	// RespSum accumulates response times (first attempt to commit).
 	RespSum time.Duration
@@ -48,7 +81,7 @@ func (t *Thread) Record(info stm.TxInfo) {
 		t.RepeatAborts += int64(a - 1)
 	}
 	t.Wasted += info.Wasted
-	t.Busy += info.Wasted + info.CommitDur
+	t.Busy += info.Duration
 	t.RespSum += info.Duration
 	t.CommitDurSum += info.CommitDur
 	if info.Fallback {
@@ -141,4 +174,44 @@ func (s Summary) MeanCommitDur() time.Duration {
 		return 0
 	}
 	return s.commitDurSum / time.Duration(s.Commits)
+}
+
+// FromSnapshot builds a Summary from a telemetry snapshot taken wall into
+// a run of the given thread count — the live view of the same aggregates
+// Aggregate computes post-run. Counter names follow telemetry.NewTxStats;
+// chaos and watchdog gauges, when registered, fill the robustness
+// counters. MaxAttempts is approximated by the attempts histogram's
+// largest occupied bucket bound (histograms keep bucket bounds, not
+// maxima).
+func FromSnapshot(snap telemetry.Snapshot, threads int, wall time.Duration) Summary {
+	s := Summary{
+		Threads:         threads,
+		Wall:            wall,
+		Commits:         snap.Counters["wincm_commits_total"],
+		Aborts:          snap.Counters["wincm_aborts_total"],
+		RepeatAborts:    snap.Counters["wincm_repeat_aborts_total"],
+		FallbackEntries: snap.Counters["wincm_fallback_commits_total"],
+		Wasted:          time.Duration(snap.Counters["wincm_wasted_ns_total"]),
+		Busy:            time.Duration(snap.Counters["wincm_busy_ns_total"]),
+		Stalls:          int64(snap.Gauges["wincm_chaos_stalls"]),
+		SpuriousAborts:  int64(snap.Gauges["wincm_chaos_spurious_aborts"]),
+		Delays:          int64(snap.Gauges["wincm_chaos_delays"]),
+		Perturbs:        int64(snap.Gauges["wincm_chaos_perturbs"]),
+		WatchdogTrips:   int64(snap.Gauges["wincm_watchdog_trips"]),
+	}
+	if h, ok := snap.Histograms["wincm_response_ns"]; ok {
+		s.respSum = time.Duration(h.Sum)
+	}
+	if h, ok := snap.Histograms["wincm_commit_duration_ns"]; ok {
+		s.commitDurSum = time.Duration(h.Sum)
+	}
+	if h, ok := snap.Histograms["wincm_tx_attempts"]; ok {
+		for i := telemetry.NumBuckets - 1; i >= 0; i-- {
+			if h.Buckets[i] > 0 {
+				s.MaxAttempts = int(telemetry.BucketUpper(i))
+				break
+			}
+		}
+	}
+	return s
 }

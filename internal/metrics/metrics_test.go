@@ -6,6 +6,7 @@ import (
 
 	"wincm/internal/metrics"
 	"wincm/internal/stm"
+	"wincm/internal/telemetry"
 )
 
 func info(attempts int, wasted, dur, commitDur time.Duration) stm.TxInfo {
@@ -31,7 +32,9 @@ func TestRecordCountsAbortsAndRepeats(t *testing.T) {
 	if th.Wasted != 6*time.Millisecond {
 		t.Errorf("Wasted = %v", th.Wasted)
 	}
-	if th.Busy != 6*time.Millisecond+3*time.Millisecond {
+	// Busy is the sum of response times (Duration), which includes the
+	// inter-attempt overhead on top of Wasted + CommitDur.
+	if th.Busy != (1+3+8)*time.Millisecond {
 		t.Errorf("Busy = %v", th.Busy)
 	}
 }
@@ -51,7 +54,7 @@ func TestAggregateAndDerivedMetrics(t *testing.T) {
 	if got := s.AbortsPerCommit(); got != 1.0/3 {
 		t.Errorf("AbortsPerCommit = %v", got)
 	}
-	// Wasted 2ms of busy 2+6=8ms.
+	// Wasted 2ms of busy (= sum of Durations) 4+2+2=8ms.
 	if got := s.WastedWork(); got != 0.25 {
 		t.Errorf("WastedWork = %v", got)
 	}
@@ -102,6 +105,42 @@ func TestAggregateRobustnessCounters(t *testing.T) {
 	}
 	if s.Stalls != 0 || s.SpuriousAborts != 0 || s.Delays != 0 || s.Perturbs != 0 || s.WatchdogTrips != 0 {
 		t.Errorf("chaos counters should be zero until the harness fills them: %+v", s)
+	}
+}
+
+// TestFromSnapshot: a telemetry snapshot round-trips into the same
+// Summary Aggregate would have produced from equivalent per-thread
+// counters, including the robustness gauges and derived means.
+func TestFromSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tx := telemetry.NewTxStats(reg, 2)
+	reg.RegisterGauge(telemetry.NewGauge("wincm_chaos_stalls", "", func() float64 { return 3 }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_watchdog_trips", "", func() float64 { return 1 }))
+	tx.RecordTx(0, info(1, 0, 2*time.Millisecond, 2*time.Millisecond))
+	fb := info(5, 3*time.Millisecond, 6*time.Millisecond, time.Millisecond)
+	fb.Fallback = true
+	tx.RecordTx(1, fb)
+
+	s := metrics.FromSnapshot(reg.Snapshot(), 2, time.Second)
+	if s.Threads != 2 || s.Wall != time.Second {
+		t.Errorf("shape = %+v", s)
+	}
+	if s.Commits != 2 || s.Aborts != 4 || s.RepeatAborts != 3 || s.FallbackEntries != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.Wasted != 3*time.Millisecond || s.Busy != 8*time.Millisecond {
+		t.Errorf("times: Wasted=%v Busy=%v", s.Wasted, s.Busy)
+	}
+	if s.Stalls != 3 || s.WatchdogTrips != 1 {
+		t.Errorf("robustness: Stalls=%d WatchdogTrips=%d", s.Stalls, s.WatchdogTrips)
+	}
+	if got := s.MeanResponse(); got != 4*time.Millisecond {
+		t.Errorf("MeanResponse = %v", got)
+	}
+	// Attempts 1 and 5 land in log2 buckets; the 5 lands in [4,7], so the
+	// approximated MaxAttempts is that bucket's upper bound.
+	if s.MaxAttempts != 7 {
+		t.Errorf("MaxAttempts = %d, want 7 (bucket upper bound)", s.MaxAttempts)
 	}
 }
 

@@ -45,7 +45,7 @@ type vread struct {
 // commit orders.
 func readInvisible[T any](tx *Tx, v *TVar[T]) T {
 	tx.maybeYield()
-	if p := tx.rt.probe; p != nil {
+	if p := tx.rt.openProbe; p != nil {
 		p.OnOpen(tx)
 	}
 	attempt := 0

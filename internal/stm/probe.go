@@ -37,6 +37,24 @@ type Probe interface {
 	PerturbResolve(tx, enemy *Tx, kind Kind, attempt int, dec Decision, wait time.Duration) (Decision, time.Duration)
 }
 
+// OpenHookFree is an optional interface a Probe may implement to declare
+// that its OnOpen and OnAcquire hooks are no-ops. The runtime then skips
+// the per-open dispatch entirely, which matters on long traversals: a list
+// transaction performs one open per node, so even a no-op interface call
+// per open is a measurable tax. A pure telemetry recorder that folds its
+// open tallies in at attempt end (see wincm/internal/telemetry) declares
+// this; a chaos injector that stalls inside opens must not.
+type OpenHookFree interface {
+	// NoOpenHooks reports that OnOpen and OnAcquire may be skipped.
+	NoOpenHooks() bool
+}
+
+// probeNoOpenHooks reports whether p has declared its open hooks skippable.
+func probeNoOpenHooks(p Probe) bool {
+	f, ok := p.(OpenHookFree)
+	return ok && f.NoOpenHooks()
+}
+
 // WithProbe installs a fault-injection probe on the runtime. The hot paths
 // pay one nil check when no probe is installed.
 func WithProbe(p Probe) Option {
@@ -45,3 +63,62 @@ func WithProbe(p Probe) Option {
 
 // Probe returns the installed probe, or nil.
 func (rt *Runtime) Probe() Probe { return rt.probe }
+
+// probeChain fans probe callbacks out to two probes in order. It is how a
+// fault injector and a telemetry recorder share the runtime's single probe
+// slot: the injector runs first so the recorder observes the schedule the
+// runtime actually executes (including perturbed decisions).
+type probeChain struct {
+	first, second Probe
+}
+
+// CombineProbes returns a probe that invokes a then b at every hook.
+// PerturbResolve threads the decision through both, a first — so if a is a
+// chaos injector and b a telemetry recorder, b sees a's perturbed
+// decision. A nil argument is skipped; two nils yield nil, preserving the
+// hot path's no-probe fast path.
+func CombineProbes(a, b Probe) Probe {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return probeChain{first: a, second: b}
+}
+
+// NoOpenHooks implements OpenHookFree: a chain is open-hook-free only if
+// both halves are.
+func (p probeChain) NoOpenHooks() bool {
+	return probeNoOpenHooks(p.first) && probeNoOpenHooks(p.second)
+}
+
+// OnOpen implements Probe.
+func (p probeChain) OnOpen(tx *Tx) {
+	p.first.OnOpen(tx)
+	p.second.OnOpen(tx)
+}
+
+// OnAcquire implements Probe.
+func (p probeChain) OnAcquire(tx *Tx) {
+	p.first.OnAcquire(tx)
+	p.second.OnAcquire(tx)
+}
+
+// OnCommit implements Probe.
+func (p probeChain) OnCommit(tx *Tx) {
+	p.first.OnCommit(tx)
+	p.second.OnCommit(tx)
+}
+
+// OnAbort implements Probe.
+func (p probeChain) OnAbort(tx *Tx) {
+	p.first.OnAbort(tx)
+	p.second.OnAbort(tx)
+}
+
+// PerturbResolve implements Probe.
+func (p probeChain) PerturbResolve(tx, enemy *Tx, kind Kind, attempt int, dec Decision, wait time.Duration) (Decision, time.Duration) {
+	dec, wait = p.first.PerturbResolve(tx, enemy, kind, attempt, dec, wait)
+	return p.second.PerturbResolve(tx, enemy, kind, attempt, dec, wait)
+}

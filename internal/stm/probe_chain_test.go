@@ -1,0 +1,137 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+// recProbe records hook invocations and optionally rewrites decisions.
+type recProbe struct {
+	log     *[]string
+	name    string
+	rewrite func(Decision, time.Duration) (Decision, time.Duration)
+}
+
+func (p *recProbe) OnOpen(*Tx)    { *p.log = append(*p.log, p.name+".open") }
+func (p *recProbe) OnAcquire(*Tx) { *p.log = append(*p.log, p.name+".acquire") }
+func (p *recProbe) OnCommit(*Tx)  { *p.log = append(*p.log, p.name+".commit") }
+func (p *recProbe) OnAbort(*Tx)   { *p.log = append(*p.log, p.name+".abort") }
+func (p *recProbe) PerturbResolve(_, _ *Tx, _ Kind, _ int, dec Decision, wait time.Duration) (Decision, time.Duration) {
+	*p.log = append(*p.log, p.name+".resolve")
+	if p.rewrite != nil {
+		return p.rewrite(dec, wait)
+	}
+	return dec, wait
+}
+
+func TestCombineProbesNilFastPath(t *testing.T) {
+	if CombineProbes(nil, nil) != nil {
+		t.Error("nil+nil should stay nil (preserves the no-probe fast path)")
+	}
+	var log []string
+	p := &recProbe{log: &log, name: "a"}
+	if got := CombineProbes(p, nil); got != Probe(p) {
+		t.Error("a+nil should be a itself")
+	}
+	if got := CombineProbes(nil, p); got != Probe(p) {
+		t.Error("nil+b should be b itself")
+	}
+}
+
+// aggressiveTestCM always aborts the enemy.
+type aggressiveTestCM struct{ NopManager }
+
+func (aggressiveTestCM) Resolve(_, _ *Tx, _ Kind, _ int) (Decision, time.Duration) {
+	return AbortEnemy, 0
+}
+
+// quietProbe is a probe that declares its open hooks skippable.
+type quietProbe struct{ recProbe }
+
+func (p *quietProbe) NoOpenHooks() bool { return true }
+
+func TestOpenHookFree(t *testing.T) {
+	var log []string
+	loud := &recProbe{log: &log, name: "loud"}
+	quiet := &quietProbe{recProbe{log: &log, name: "quiet"}}
+
+	// A probe without the opt-out keeps per-open dispatch.
+	rt := New(1, aggressiveTestCM{}, WithProbe(loud))
+	if rt.openProbe == nil {
+		t.Error("probe without NoOpenHooks must keep open dispatch")
+	}
+	// A probe with the opt-out removes it; commit hooks still fire.
+	rt = New(1, aggressiveTestCM{}, WithProbe(quiet))
+	if rt.openProbe != nil {
+		t.Error("NoOpenHooks probe must clear openProbe")
+	}
+	v := NewTVar(0)
+	rt.Thread(0).Atomic(func(tx *Tx) { Write(tx, v, Read(tx, v)+1) })
+	for _, ev := range log {
+		if ev == "quiet.open" || ev == "quiet.acquire" {
+			t.Fatalf("open hook dispatched despite opt-out: %v", log)
+		}
+	}
+	saw := false
+	for _, ev := range log {
+		if ev == "quiet.commit" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatalf("commit hook must still fire: %v", log)
+	}
+
+	// A chain is open-hook-free only if both halves are.
+	if probeNoOpenHooks(CombineProbes(loud, quiet)) {
+		t.Error("loud+quiet chain must keep open hooks")
+	}
+	if !probeNoOpenHooks(CombineProbes(quiet, quiet)) {
+		t.Error("quiet+quiet chain should be open-hook-free")
+	}
+}
+
+func TestCombineProbesOrderAndThreading(t *testing.T) {
+	var log []string
+	injector := &recProbe{log: &log, name: "inj", rewrite: func(Decision, time.Duration) (Decision, time.Duration) {
+		return Wait, 7 * time.Microsecond // perturb whatever the CM said
+	}}
+	var sawDec Decision
+	var sawWait time.Duration
+	recorder := &recProbe{log: &log, name: "rec", rewrite: func(dec Decision, wait time.Duration) (Decision, time.Duration) {
+		sawDec, sawWait = dec, wait
+		return dec, wait
+	}}
+	p := CombineProbes(injector, recorder)
+
+	tx := &Tx{D: &Desc{}}
+	p.OnOpen(tx)
+	p.OnAcquire(tx)
+	p.OnCommit(tx)
+	p.OnAbort(tx)
+	dec, wait := p.PerturbResolve(tx, tx, WriteWrite, 1, AbortEnemy, 0)
+
+	want := []string{
+		"inj.open", "rec.open",
+		"inj.acquire", "rec.acquire",
+		"inj.commit", "rec.commit",
+		"inj.abort", "rec.abort",
+		"inj.resolve", "rec.resolve",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q (full: %v)", i, log[i], want[i], log)
+		}
+	}
+	// The recorder must observe (and the chain return) the injector's
+	// perturbed decision, not the CM's original.
+	if sawDec != Wait || sawWait != 7*time.Microsecond {
+		t.Errorf("recorder saw %v/%v, want the perturbed Wait/7µs", sawDec, sawWait)
+	}
+	if dec != Wait || wait != 7*time.Microsecond {
+		t.Errorf("chain returned %v/%v", dec, wait)
+	}
+}

@@ -108,14 +108,24 @@ type Desc struct {
 // attempt spuriously.
 type Tx struct {
 	// D is the persistent logical-transaction descriptor.
-	D      *Desc
-	rt     *Runtime
-	status atomic.Int32
-	opens  int
-	reads  []container
-	writes []container
-	vreads []vread
+	D        *Desc
+	rt       *Runtime
+	status   atomic.Int32
+	opens    int
+	acquires int
+	reads    []container
+	writes   []container
+	vreads   []vread
 }
+
+// OpenCalls reports how many transactional opens (Read and Write calls)
+// this attempt has made so far. It survives cleanup, so probes may read
+// it from OnAbort. Only the attempt's own thread may call it.
+func (tx *Tx) OpenCalls() int { return tx.opens }
+
+// AcquireCount reports how many write ownerships this attempt newly
+// acquired. Like OpenCalls it survives cleanup and is owner-thread-only.
+func (tx *Tx) AcquireCount() int { return tx.acquires }
 
 // Status returns the current status of this attempt.
 func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
@@ -137,6 +147,9 @@ type Runtime struct {
 
 	// probe is the optional fault-injection layer (see probe.go).
 	probe Probe
+	// openProbe is probe unless it declared NoOpenHooks, in which case it
+	// is nil and the per-open dispatch in Read/Write vanishes.
+	openProbe Probe
 	// commits counts committed transactions runtime-wide; the watchdog
 	// samples it to detect lack of progress.
 	commits atomic.Int64
@@ -157,6 +170,9 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 	rt := &Runtime{cm: cm}
 	for _, opt := range opts {
 		opt(rt)
+	}
+	if rt.probe != nil && !probeNoOpenHooks(rt.probe) {
+		rt.openProbe = rt.probe
 	}
 	rt.threads = make([]*Thread, m)
 	for i := range rt.threads {

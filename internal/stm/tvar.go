@@ -106,7 +106,7 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 		return readInvisible(tx, v)
 	}
 	tx.maybeYield()
-	if p := tx.rt.probe; p != nil {
+	if p := tx.rt.openProbe; p != nil {
 		p.OnOpen(tx)
 	}
 	attempt := 0
@@ -151,7 +151,7 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 // resolved before the ownership is taken.
 func Write[T any](tx *Tx, v *TVar[T], val T) {
 	tx.maybeYield()
-	if p := tx.rt.probe; p != nil {
+	if p := tx.rt.openProbe; p != nil {
 		p.OnOpen(tx)
 	}
 	attempt := 0
@@ -189,12 +189,13 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 		if v.writer != tx {
 			v.writer = tx
 			tx.writes = append(tx.writes, v)
+			tx.acquires++
 			opened = true
 		}
 		v.pending = val
 		v.mu.Unlock()
 		if opened {
-			if p := tx.rt.probe; p != nil {
+			if p := tx.rt.openProbe; p != nil {
 				p.OnAcquire(tx)
 			}
 			tx.rt.cm.Opened(tx)
@@ -211,13 +212,14 @@ func Modify[T any](tx *Tx, v *TVar[T], f func(T) T) {
 
 // maybeYield implements the runtime's interleaving knob (SetYieldEvery):
 // every k-th open yields the processor. It runs before any variable lock
-// is taken.
+// is taken. The open count it maintains doubles as the attempt's open
+// tally (OpenCalls), so it is kept even when yielding is off.
 func (tx *Tx) maybeYield() {
+	tx.opens++
 	k := tx.rt.yieldEvery.Load()
 	if k <= 0 {
 		return
 	}
-	tx.opens++
 	if int64(tx.opens)%k == 0 {
 		runtime.Gosched()
 	}

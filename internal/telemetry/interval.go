@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point is one interval sample: cumulative counter values and
+// instantaneous gauge readings at time At since the sampler started.
+// Rates (throughput, abort rate) are deltas between consecutive points.
+type Point struct {
+	// At is the sample time relative to Sampler start.
+	At time.Duration `json:"at_ns"`
+	// Counters holds cumulative counter values by name.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds gauge readings by name.
+	Gauges map[string]float64 `json:"gauges"`
+}
+
+// Sampler periodically snapshots a registry's counters and gauges,
+// producing the time series the -fig telemetry mode renders and the JSONL
+// and CSV exports preserve. Points are capped; once the cap is reached the
+// sampler keeps counting dropped samples instead of growing without bound.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	maxPts   int
+
+	mu      sync.Mutex
+	points  []Point
+	dropped int64
+
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// defaultSamplerCap bounds the retained time series (~2.7 hours at 100ms).
+const defaultSamplerCap = 100_000
+
+// StartSampler begins sampling reg every interval (minimum 1ms; a
+// non-positive interval selects 100ms). maxPoints ≤ 0 selects the default
+// cap. Call Stop to end sampling; a final point is always taken at Stop so
+// short runs never produce an empty series.
+func StartSampler(reg *Registry, interval time.Duration, maxPoints int) *Sampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if maxPoints <= 0 {
+		maxPoints = defaultSamplerCap
+	}
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		maxPts:   maxPoints,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// run is the sampling loop.
+func (s *Sampler) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			s.sample()
+			return
+		case <-ticker.C:
+			s.sample()
+		}
+	}
+}
+
+// sample takes one point.
+func (s *Sampler) sample() {
+	snap := s.reg.Snapshot()
+	p := Point{At: time.Since(s.start), Counters: snap.Counters, Gauges: snap.Gauges}
+	s.mu.Lock()
+	if len(s.points) < s.maxPts {
+		s.points = append(s.points, p)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Stop ends the sampling loop, taking one final point, and waits for it
+// to exit. It is idempotent.
+func (s *Sampler) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Points returns a copy of the series so far.
+func (s *Sampler) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Dropped returns how many samples the cap discarded.
+func (s *Sampler) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// seriesKeys returns the sorted union of counter and gauge names across
+// the series (counters first), so exports have stable columns even if a
+// gauge appeared mid-run.
+func seriesKeys(pts []Point) (counters, gauges []string) {
+	cset, gset := map[string]bool{}, map[string]bool{}
+	for _, p := range pts {
+		for k := range p.Counters {
+			cset[k] = true
+		}
+		for k := range p.Gauges {
+			gset[k] = true
+		}
+	}
+	for k := range cset {
+		counters = append(counters, k)
+	}
+	for k := range gset {
+		gauges = append(gauges, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	return counters, gauges
+}
+
+// WriteJSONL writes one JSON object per point.
+func WriteJSONL(w io.Writer, pts []Point) error {
+	enc := json.NewEncoder(w)
+	for i := range pts {
+		if err := enc.Encode(&pts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the series as CSV: at_ns, then one column per counter
+// (cumulative) and per gauge, names sorted. Missing values render empty.
+func WriteCSV(w io.Writer, pts []Point) error {
+	counters, gauges := seriesKeys(pts)
+	header := append([]string{"at_ns"}, counters...)
+	header = append(header, gauges...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("%d", p.At.Nanoseconds()))
+		for _, k := range counters {
+			if v, ok := p.Counters[k]; ok {
+				row = append(row, fmt.Sprintf("%d", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		for _, k := range gauges {
+			if v, ok := p.Gauges[k]; ok {
+				row = append(row, formatFloat(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wincm/internal/telemetry"
+)
+
+func TestSamplerSeries(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.NewCounter("s_total", "", 1)
+	r.RegisterGauge(telemetry.NewGauge("s_gauge", "", func() float64 { return float64(c.Value()) }))
+	s := telemetry.StartSampler(r, 2*time.Millisecond, 0)
+	for i := 0; i < 10; i++ {
+		c.Inc(0)
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	pts := s.Points()
+	if len(pts) < 2 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At < pts[i-1].At {
+			t.Fatal("points not time-ordered")
+		}
+		if pts[i].Counters["s_total"] < pts[i-1].Counters["s_total"] {
+			t.Fatal("counter went backwards across points")
+		}
+	}
+	final := pts[len(pts)-1]
+	if final.Counters["s_total"] != 10 {
+		t.Errorf("final counter = %d, want 10 (Stop takes a last point)", final.Counters["s_total"])
+	}
+	if final.Gauges["s_gauge"] != 10 {
+		t.Errorf("final gauge = %v", final.Gauges["s_gauge"])
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d", s.Dropped())
+	}
+}
+
+func TestSamplerCap(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.NewCounter("cap_total", "", 1)
+	s := telemetry.StartSampler(r, time.Millisecond, 3)
+	time.Sleep(25 * time.Millisecond)
+	s.Stop()
+	if got := len(s.Points()); got != 3 {
+		t.Errorf("retained %d points, want cap 3", got)
+	}
+	if s.Dropped() == 0 {
+		t.Error("cap exceeded but nothing dropped")
+	}
+}
+
+func seriesFixture() []telemetry.Point {
+	return []telemetry.Point{
+		{At: time.Millisecond, Counters: map[string]int64{"b_total": 1, "a_total": 2}, Gauges: map[string]float64{"g": 0.5}},
+		{At: 2 * time.Millisecond, Counters: map[string]int64{"b_total": 3}, Gauges: map[string]float64{"g": 1, "late_g": 7}},
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, seriesFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var p telemetry.Point
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.At != time.Millisecond || p.Counters["a_total"] != 2 || p.Gauges["g"] != 0.5 {
+		t.Errorf("round-trip = %+v", p)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteCSV(&buf, seriesFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows", len(lines))
+	}
+	// Stable columns: counters sorted first, then gauges sorted — including
+	// the gauge that only appeared in the second point.
+	if lines[0] != "at_ns,a_total,b_total,g,late_g" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1000000,2,1,0.5," {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2000000,,3,1,7" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

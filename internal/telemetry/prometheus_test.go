@@ -1,0 +1,84 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wincm/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// deterministic registry: HELP/TYPE headers, sorted metric order,
+// cumulative le-labelled buckets with trailing empties elided, and the
+// integer/float sample formatting.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := telemetry.NewRegistry()
+	c := r.NewCounter("wincm_commits_total", "committed transactions", 2)
+	c.Add(0, 40)
+	c.Add(1, 2)
+	r.NewCounter("wincm_aborts_total", "aborted attempts", 2) // stays zero
+	r.RegisterGauge(telemetry.NewGauge("wincm_window_frame", "current frame index", func() float64 { return 3 }))
+	r.RegisterGauge(telemetry.NewGauge("wincm_window_c_mean", "mean contention estimate", func() float64 { return 2.5 }))
+	h := r.NewHistogram("wincm_response_ns", "transaction response time", 2)
+	h.Observe(0, 0)
+	h.Observe(0, 1)
+	h.Observe(1, 3)
+	h.Observe(1, 12)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestWritePrometheusContract checks structural properties that must hold
+// for any scraper, independent of the exact golden bytes.
+func TestWritePrometheusContract(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.NewCounter("z_total", "", 1).Add(0, 5)
+	h := r.NewHistogram("a_hist", "", 1)
+	h.Observe(0, 100)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted by metric name: the histogram block precedes the counter.
+	if strings.Index(out, "a_hist") > strings.Index(out, "z_total") {
+		t.Error("metrics not sorted by name")
+	}
+	for _, want := range []string{
+		"# TYPE a_hist histogram",
+		`a_hist_bucket{le="+Inf"} 1`,
+		"a_hist_sum 100",
+		"a_hist_count 1",
+		"# TYPE z_total counter",
+		"z_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import "wincm/internal/stm"
+
+// TxStats is the standard instrument set for one STM run: the commit-path
+// counters the paper's figures aggregate, plus the latency and attempt
+// histograms that only telemetry exposes. Each worker thread records into
+// its own shard (its thread ID), so recording never contends.
+type TxStats struct {
+	// Commits counts committed transactions; Aborts aborted attempts.
+	Commits, Aborts *Counter
+	// RepeatAborts counts aborts beyond a transaction's first.
+	RepeatAborts *Counter
+	// Fallbacks counts commits made holding the serialized-fallback token.
+	Fallbacks *Counter
+	// WastedNs and BusyNs accumulate wasted and total per-transaction time
+	// (see wincm/internal/metrics for the exact accounting).
+	WastedNs, BusyNs *Counter
+	// Response is the response-time histogram (first attempt → commit), ns.
+	Response *Histogram
+	// CommitDur is the successful-attempt duration histogram, ns.
+	CommitDur *Histogram
+	// Attempts is the attempts-per-transaction histogram.
+	Attempts *Histogram
+}
+
+// NewTxStats registers the transaction instrument set in r, sharded for
+// the given worker count.
+func NewTxStats(r *Registry, shards int) *TxStats {
+	return &TxStats{
+		Commits:      r.NewCounter("wincm_commits_total", "committed transactions", shards),
+		Aborts:       r.NewCounter("wincm_aborts_total", "aborted attempts", shards),
+		RepeatAborts: r.NewCounter("wincm_repeat_aborts_total", "aborts beyond a transaction's first", shards),
+		Fallbacks:    r.NewCounter("wincm_fallback_commits_total", "commits holding the serialized-fallback token", shards),
+		WastedNs:     r.NewCounter("wincm_wasted_ns_total", "time spent in aborted attempts", shards),
+		BusyNs:       r.NewCounter("wincm_busy_ns_total", "total per-transaction time, first attempt to commit", shards),
+		Response:     r.NewHistogram("wincm_response_ns", "transaction response time (first attempt to commit)", shards),
+		CommitDur:    r.NewHistogram("wincm_commit_duration_ns", "duration of successful attempts", shards),
+		Attempts:     r.NewHistogram("wincm_tx_attempts", "attempts needed per committed transaction", shards),
+	}
+}
+
+// RecordTx folds one committed transaction's TxInfo into the instruments.
+// shard is the recording thread's ID.
+func (s *TxStats) RecordTx(shard int, info stm.TxInfo) {
+	s.Commits.Inc(shard)
+	if a := int64(info.Aborts()); a > 0 {
+		s.Aborts.Add(shard, a)
+		if a > 1 {
+			s.RepeatAborts.Add(shard, a-1)
+		}
+	}
+	if info.Fallback {
+		s.Fallbacks.Inc(shard)
+	}
+	s.WastedNs.Add(shard, int64(info.Wasted))
+	s.BusyNs.Add(shard, int64(info.Duration))
+	s.Response.Observe(shard, int64(info.Duration))
+	s.CommitDur.Observe(shard, int64(info.CommitDur))
+	s.Attempts.Observe(shard, int64(info.Attempts))
+}

@@ -67,29 +67,58 @@ type Event struct {
 	Decision stm.Decision
 }
 
+// DefaultCap is the event capacity Wrap installs: enough for several
+// seconds of a contended run, small enough that a forgotten tracer
+// cannot exhaust memory on a long one.
+const DefaultCap = 1 << 20
+
 // Manager wraps an inner contention manager and records its lifecycle.
 // Recording is mutex-serialized; wrap only for debugging and analysis
 // runs, not for throughput measurements.
+//
+// Storage is a bounded ring: once the capacity is reached each new
+// event evicts the oldest one and Dropped is incremented, so a tracer
+// left on a long run keeps the most recent window instead of growing
+// without bound.
 type Manager struct {
 	inner stm.ContentionManager
 	start time.Time
+	cap   int
 
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	head    int // index of the oldest event once the ring is full
+	dropped int64
 }
 
 var _ stm.ContentionManager = (*Manager)(nil)
 
-// Wrap returns a tracing manager around inner.
+// Wrap returns a tracing manager around inner holding at most
+// DefaultCap events.
 func Wrap(inner stm.ContentionManager) *Manager {
-	return &Manager{inner: inner, start: time.Now()}
+	return WrapCap(inner, DefaultCap)
 }
 
-// record appends one event.
+// WrapCap returns a tracing manager around inner holding at most cap
+// events; the oldest are evicted first. cap <= 0 means unbounded.
+func WrapCap(inner stm.ContentionManager, cap int) *Manager {
+	return &Manager{inner: inner, start: time.Now(), cap: cap}
+}
+
+// record appends one event, evicting the oldest at capacity.
 func (m *Manager) record(e Event) {
 	e.At = time.Since(m.start)
 	m.mu.Lock()
-	m.events = append(m.events, e)
+	if m.cap > 0 && len(m.events) >= m.cap {
+		m.events[m.head] = e
+		m.head++
+		if m.head == len(m.events) {
+			m.head = 0
+		}
+		m.dropped++
+	} else {
+		m.events = append(m.events, e)
+	}
 	m.mu.Unlock()
 }
 
@@ -124,17 +153,28 @@ func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.De
 	return dec, wait
 }
 
-// Events returns a copy of everything recorded so far.
+// Events returns a copy of everything retained, oldest first.
 func (m *Manager) Events() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]Event(nil), m.events...)
+	out := make([]Event, 0, len(m.events))
+	out = append(out, m.events[m.head:]...)
+	return append(out, m.events[:m.head]...)
 }
 
-// Reset discards recorded events.
+// Dropped reports how many events were evicted to respect the capacity.
+func (m *Manager) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Reset discards recorded events and the dropped count.
 func (m *Manager) Reset() {
 	m.mu.Lock()
 	m.events = m.events[:0]
+	m.head = 0
+	m.dropped = 0
 	m.mu.Unlock()
 }
 

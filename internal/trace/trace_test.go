@@ -129,6 +129,61 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestRingCap: a capped tracer keeps the newest events, reports the
+// eviction count, and still returns them oldest-first.
+func TestRingCap(t *testing.T) {
+	tr := trace.WrapCap(cm.Aggressive{}, 8)
+	rt := stm.New(1, tr)
+	v := stm.NewTVar(0)
+	th := rt.Thread(0)
+	const txs = 20 // 2 events each (begin + commit), far beyond cap 8
+	for j := 0; j < txs; j++ {
+		th.Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+		})
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want cap 8", len(events))
+	}
+	if tr.Dropped() != 2*txs-8 {
+		t.Errorf("Dropped = %d, want %d", tr.Dropped(), 2*txs-8)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("ring events not time-ordered")
+		}
+	}
+	// The newest window survives: the last event is the final commit.
+	last := events[len(events)-1]
+	if last.Kind != trace.Commit || last.Seq != txs-1 {
+		t.Errorf("last retained event = %+v, want commit of seq %d", last, txs-1)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Error("Reset kept ring state")
+	}
+}
+
+// TestUnboundedCap: cap <= 0 disables eviction.
+func TestUnboundedCap(t *testing.T) {
+	tr := trace.WrapCap(cm.Aggressive{}, 0)
+	rt := stm.New(1, tr)
+	v := stm.NewTVar(0)
+	th := rt.Thread(0)
+	for j := 0; j < 50; j++ {
+		th.Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+		})
+	}
+	if got := len(tr.Events()); got < 100 {
+		t.Errorf("unbounded tracer retained %d events, want >= 100", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("unbounded tracer dropped %d", tr.Dropped())
+	}
+}
+
 func TestAbortsByPair(t *testing.T) {
 	tr := run(t, 4, 100)
 	pairs := tr.AbortsByPair()
