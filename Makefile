@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench figures chaos theory loc ci
+.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory loc ci
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/
 
 # What the GitHub workflow runs (.github/workflows/ci.yml).
 ci:
@@ -25,6 +25,17 @@ ci:
 # Bounded iterations so the full matrix stays minutes, not hours.
 bench:
 	go test -bench=. -benchmem -benchtime=300x ./...
+
+# The CI regression gate: rerun the baseline cells and compare with
+# cmd/benchcmp (fails on >10% ns/op regression against bench_baseline.txt).
+BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted'
+bench-check:
+	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
+	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
+
+# Refresh the checked-in baseline after an intentional performance change.
+bench-baseline:
+	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee bench_baseline.txt
 
 # Reproduce the paper's figures (CI-scale; add -paper for the full regime).
 figures:

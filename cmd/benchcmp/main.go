@@ -1,0 +1,58 @@
+// Command benchcmp compares two `go test -bench` outputs and fails when
+// any benchmark regressed beyond a threshold. It is a dependency-free
+// stand-in for benchstat, tuned for the one job CI needs: guarding the
+// checked-in hot-path baseline (bench_baseline.txt) against regressions.
+//
+//	go test -bench . ./internal/bench/ | tee new.txt
+//	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt new.txt
+//
+// Both inputs may hold several samples per benchmark (-count N); the
+// minimum ns/op per name is compared, which discards scheduler noise
+// (one-sided, in the direction that never masks a real regression on the
+// new side — a lucky fast sample can hide one, which is why CI runs with
+// -count 3 and the threshold stays loose).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wincm/internal/benchparse"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fail when new min ns/op exceeds old by this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold f] old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := benchparse.ParseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := benchparse.ParseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	rows, regressed := benchparse.Compare(old, cur, *threshold)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no common benchmarks between inputs")
+		os.Exit(2)
+	}
+	fmt.Printf("%-40s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Printf("%-40s %12.0f %12.0f %+7.1f%%%s\n", r.Name, r.Old, r.New, 100*r.Delta, mark)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% threshold\n", 100**threshold)
+		os.Exit(1)
+	}
+}

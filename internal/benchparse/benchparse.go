@@ -1,0 +1,123 @@
+// Package benchparse parses `go test -bench` output and compares two runs.
+// It implements the slice of benchstat that the CI regression gate needs,
+// with no dependencies outside the standard library.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds the samples collected for one benchmark name.
+type Result struct {
+	Name    string
+	NsPerOp []float64
+}
+
+// Min returns the fastest sample — the estimate least polluted by
+// scheduler and GC noise.
+func (r Result) Min() float64 {
+	m := r.NsPerOp[0]
+	for _, v := range r.NsPerOp[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Parse reads benchmark lines of the form
+//
+//	BenchmarkName[-P]   <iterations>   <float> ns/op   [more unit columns]
+//
+// from raw output, accumulating every sample per name. Non-benchmark lines
+// (headers, PASS, ok) are ignored, so raw `go test` output feeds in as-is.
+func Parse(lines []string) map[string]*Result {
+	out := make(map[string]*Result)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the GOMAXPROCS suffix so baselines move across machines.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Find the "ns/op" column; its left neighbor is the value.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				break
+			}
+			r := out[name]
+			if r == nil {
+				r = &Result{Name: name}
+				out[name] = r
+			}
+			r.NsPerOp = append(r.NsPerOp, v)
+			break
+		}
+	}
+	return out
+}
+
+// ParseFile parses a benchmark output file.
+func ParseFile(path string) (map[string]*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	res := Parse(lines)
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return res, nil
+}
+
+// Row is one benchmark's old-vs-new comparison.
+type Row struct {
+	Name      string
+	Old, New  float64 // min ns/op on each side
+	Delta     float64 // (New-Old)/Old
+	Regressed bool
+}
+
+// Compare matches benchmarks present in both runs and flags any whose new
+// minimum ns/op exceeds the old by more than threshold. Rows come back in
+// name order; regressed reports whether any row tripped.
+func Compare(old, cur map[string]*Result, threshold float64) (rows []Row, regressed bool) {
+	for name, o := range old {
+		c, ok := cur[name]
+		if !ok {
+			continue
+		}
+		r := Row{Name: name, Old: o.Min(), New: c.Min()}
+		if r.Old > 0 {
+			r.Delta = (r.New - r.Old) / r.Old
+		}
+		r.Regressed = r.Delta > threshold
+		regressed = regressed || r.Regressed
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, regressed
+}

@@ -1,0 +1,71 @@
+package benchparse
+
+import "testing"
+
+var sample = []string{
+	"goos: linux",
+	"goarch: amd64",
+	"pkg: wincm/internal/bench",
+	"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+	"BenchmarkListParallel-4 \t  623576\t      1961 ns/op\t     227 B/op\t       2 allocs/op",
+	"BenchmarkListParallel-4 \t  600000\t      2050 ns/op\t     230 B/op\t       2 allocs/op",
+	"BenchmarkReadOnlyCommitted \t  794083\t      1522 ns/op\t       0 B/op\t       0 allocs/op",
+	"BenchmarkSetOps/list-4 \t  664966\t      1789 ns/op",
+	"PASS",
+	"ok  \twincm/internal/bench\t15.054s",
+}
+
+func TestParse(t *testing.T) {
+	res := Parse(sample)
+	if len(res) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(res), res)
+	}
+	lp := res["BenchmarkListParallel"]
+	if lp == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if len(lp.NsPerOp) != 2 || lp.Min() != 1961 {
+		t.Errorf("ListParallel samples = %v, min %v", lp.NsPerOp, lp.Min())
+	}
+	if r := res["BenchmarkSetOps/list"]; r == nil || r.Min() != 1789 {
+		t.Errorf("sub-benchmark parse failed: %+v", r)
+	}
+	if r := res["BenchmarkReadOnlyCommitted"]; r == nil || r.Min() != 1522 {
+		t.Errorf("unsuffixed name parse failed: %+v", r)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := Parse([]string{
+		"BenchmarkA \t 1000 \t 1000 ns/op",
+		"BenchmarkB \t 1000 \t 1000 ns/op",
+		"BenchmarkOnlyOld \t 1000 \t 5 ns/op",
+	})
+	cur := Parse([]string{
+		"BenchmarkA \t 1000 \t 1099 ns/op", // +9.9%: inside threshold
+		"BenchmarkB \t 1000 \t 1201 ns/op", // +20.1%: regression
+		"BenchmarkOnlyNew \t 1000 \t 5 ns/op",
+	})
+	rows, regressed := Compare(old, cur, 0.10)
+	if !regressed {
+		t.Error("20% regression not flagged")
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (unmatched names dropped)", len(rows))
+	}
+	if rows[0].Name != "BenchmarkA" || rows[0].Regressed {
+		t.Errorf("A flagged: %+v", rows[0])
+	}
+	if rows[1].Name != "BenchmarkB" || !rows[1].Regressed {
+		t.Errorf("B not flagged: %+v", rows[1])
+	}
+}
+
+func TestCompareImprovementNeverRegresses(t *testing.T) {
+	old := Parse([]string{"BenchmarkA \t 1000 \t 1000 ns/op"})
+	cur := Parse([]string{"BenchmarkA \t 1000 \t 200 ns/op"})
+	rows, regressed := Compare(old, cur, 0.10)
+	if regressed || rows[0].Regressed {
+		t.Errorf("5x improvement flagged as regression: %+v", rows[0])
+	}
+}

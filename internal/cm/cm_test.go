@@ -18,7 +18,7 @@ func descPair(t *testing.T) (older, younger *stm.Tx) {
 	rt.Thread(0).Atomic(func(tx *stm.Tx) { older = tx })
 	time.Sleep(time.Millisecond)
 	rt.Thread(1).Atomic(func(tx *stm.Tx) { younger = tx })
-	if older.D.Birth >= younger.D.Birth {
+	if older.D.Birth.Load() >= younger.D.Birth.Load() {
 		t.Fatal("birth order not established")
 	}
 	return older, younger

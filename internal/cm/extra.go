@@ -56,7 +56,7 @@ func (r *RandomizedRounds) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int
 		return dec, wait
 	}
 	mine, theirs := tx.D.Aux.Load(), enemy.D.Aux.Load()
-	if mine < theirs || (mine == theirs && tx.D.ID < enemy.D.ID) {
+	if mine < theirs || (mine == theirs && tx.D.ID.Load() < enemy.D.ID.Load()) {
 		return stm.AbortEnemy, 0
 	}
 	if attempt <= 12 {
@@ -98,7 +98,7 @@ func (s *SizeMatters) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (st
 		return dec, wait
 	}
 	mine, theirs := tx.D.Karma.Load(), enemy.D.Karma.Load()
-	if mine > theirs || (mine == theirs && tx.D.ID < enemy.D.ID) {
+	if mine > theirs || (mine == theirs && tx.D.ID.Load() < enemy.D.ID.Load()) {
 		return stm.AbortEnemy, 0
 	}
 	if attempt <= s.Rounds {
@@ -143,7 +143,7 @@ func (e *Eruption) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.D
 	if dec, wait, ok := stm.FallbackResolve(tx, enemy); ok {
 		return dec, wait
 	}
-	if pressure(tx) > pressure(enemy) || (pressure(tx) == pressure(enemy) && tx.D.ID < enemy.D.ID) {
+	if pressure(tx) > pressure(enemy) || (pressure(tx) == pressure(enemy) && tx.D.ID.Load() < enemy.D.ID.Load()) {
 		return stm.AbortEnemy, 0
 	}
 	// Transfer momentum on first contact, then wait.
@@ -179,7 +179,7 @@ func NewKindergarten() *Kindergarten {
 func (k *Kindergarten) Begin(tx *stm.Tx) {
 	if tx.D.Attempts == 1 {
 		k.mu.Lock()
-		delete(k.yielded, tx.D.ID)
+		delete(k.yielded, tx.D.ID.Load())
 		k.mu.Unlock()
 	}
 }
@@ -190,14 +190,14 @@ func (k *Kindergarten) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (s
 		return dec, wait
 	}
 	k.mu.Lock()
-	hit := k.yielded[tx.D.ID]
-	already := hit != nil && hit[enemy.D.ID]
+	hit := k.yielded[tx.D.ID.Load()]
+	already := hit != nil && hit[enemy.D.ID.Load()]
 	if !already {
 		if hit == nil {
 			hit = make(map[uint64]bool, 4)
-			k.yielded[tx.D.ID] = hit
+			k.yielded[tx.D.ID.Load()] = hit
 		}
-		hit[enemy.D.ID] = true
+		hit[enemy.D.ID.Load()] = true
 	}
 	k.mu.Unlock()
 	if already {

@@ -90,8 +90,8 @@ func (t *Timestamp) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.
 // enemy's, breaking timestamp ties by the unique transaction ID so the
 // order is total (required for progress).
 func older(tx, enemy *stm.Tx) bool {
-	if tx.D.Birth != enemy.D.Birth {
-		return tx.D.Birth < enemy.D.Birth
+	if tx.D.Birth.Load() != enemy.D.Birth.Load() {
+		return tx.D.Birth.Load() < enemy.D.Birth.Load()
 	}
-	return tx.D.ID < enemy.D.ID
+	return tx.D.ID.Load() < enemy.D.ID.Load()
 }

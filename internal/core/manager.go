@@ -278,7 +278,7 @@ func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.De
 		// collisions are rare — telemetry makes the assumption checkable.
 		m.collisions.Add(1)
 	}
-	if mine < theirs || (mine == theirs && tx.D.ID < enemy.D.ID) {
+	if mine < theirs || (mine == theirs && tx.D.ID.Load() < enemy.D.ID.Load()) {
 		return stm.AbortEnemy, 0
 	}
 	if attempt <= m.patience {

@@ -19,6 +19,12 @@ package stm
 // read still holds the version read, and any concurrent writer of those
 // variables either committed before our last validation (we saw its
 // value) or commits after our status CAS (serializes after us).
+//
+// On the lock-free representation, "the variable's version" is the settled
+// view of its ownership record: settledView(loc, status) yields the
+// committed value and its commit version regardless of whether the fold
+// CAS has landed, so reads and validations need no lock — just a coherent
+// (locator, owner-status) observation.
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -36,6 +42,34 @@ type vread struct {
 	ver uint64
 }
 
+// settled returns the variable's committed value and version, resolving
+// active foreign writers through the contention manager first (eager
+// write-read conflict detection, exactly as the visible path does). If v
+// is owned by tx itself, it returns the tentative value with own=true.
+func settled[T any](tx *Tx, v *TVar[T], attempt *int) (val T, ver uint64, own bool) {
+	for {
+		tx.checkAlive()
+		loc := v.load()
+		if loc.owner == nil {
+			return loc.oldVal, loc.version, false
+		}
+		if loc.owner == tx {
+			return loc.newVal, 0, true
+		}
+		word, ok := ownerView(loc)
+		if !ok {
+			tx.casRetries++
+			continue
+		}
+		if StatusOf(word) == Active {
+			tx.resolve(loc.owner, word, ReadWrite, attempt)
+			continue
+		}
+		val, ver = settledView(loc, StatusOf(word))
+		return val, ver, false
+	}
+}
+
 // readInvisible performs an invisible read of v: the reader does not
 // register on the variable, so later writers will not see it. An *active
 // writer already owning v* is still an eagerly detected conflict and goes
@@ -49,42 +83,22 @@ func readInvisible[T any](tx *Tx, v *TVar[T]) T {
 		p.OnOpen(tx)
 	}
 	attempt := 0
-	for {
-		tx.checkAlive()
-		v.mu.Lock()
-		v.fold()
-		if w := v.writer; w != nil && w != tx {
-			v.mu.Unlock()
-			tx.resolve(w, ReadWrite, &attempt)
-			continue
-		}
-		if tx.Status() != Active {
-			v.mu.Unlock()
-			panic(retrySignal{})
-		}
-		var val T
-		if v.writer == tx {
-			val = v.pending
-			v.mu.Unlock()
-			return val
-		}
-		val = v.val
-		ver := v.version
-		v.mu.Unlock()
-
-		if !tx.knownRead(v) {
-			tx.vreads = append(tx.vreads, vread{c: v, ver: ver})
-			tx.rt.cm.Opened(tx)
-			if !tx.validateReads(false) {
-				tx.selfAbort()
-			}
-		} else if !v.validate(tx, ver, false) {
-			// Re-read of a known variable with a moved version: the
-			// snapshot is broken.
-			tx.selfAbort()
-		}
+	val, ver, own := settled(tx, v, &attempt)
+	if own {
 		return val
 	}
+	if !tx.knownRead(v) {
+		tx.vreads = append(tx.vreads, vread{c: v, ver: ver})
+		tx.rt.cm.Opened(tx)
+		if !tx.validateReads(false) {
+			tx.selfAbort()
+		}
+	} else if !v.validate(tx, ver, false) {
+		// Re-read of a known variable with a moved version: the
+		// snapshot is broken.
+		tx.selfAbort()
+	}
+	return val
 }
 
 // knownRead reports whether v is already in the invisible read set.
@@ -101,11 +115,11 @@ func (tx *Tx) knownRead(c container) bool {
 // is broken and the attempt must restart.
 //
 // Mid-execution (strict = false) the version check alone suffices for
-// opacity: a concurrent writer that committed would have bumped the
-// version at fold. At commit (strict = true) a variable owned by another
-// *active* writer also fails — otherwise two transactions that each read
-// what the other is writing could both validate before either commits and
-// both succeed (write skew across the validate/CAS window).
+// opacity: a concurrent writer that committed carries a settled version
+// past the recorded one. At commit (strict = true) a variable owned by
+// another *active* writer also fails — otherwise two transactions that
+// each read what the other is writing could both validate before either
+// commits and both succeed (write skew across the validate/CAS window).
 func (tx *Tx) validateReads(strict bool) bool {
 	for _, r := range tx.vreads {
 		if !r.c.validate(tx, r.ver, strict) {
@@ -115,14 +129,29 @@ func (tx *Tx) validateReads(strict bool) bool {
 	return true
 }
 
-// validate implements container for invisible reads.
+// validate implements container for invisible reads: the recorded version
+// must still be the settled version, without blocking on (or resolving)
+// any current owner.
 func (v *TVar[T]) validate(tx *Tx, ver uint64, strict bool) bool {
-	v.mu.Lock()
-	v.fold()
-	ok := v.version == ver
-	if strict && v.writer != nil && v.writer != tx {
-		ok = false
+	for {
+		loc := v.load()
+		if loc.owner == nil {
+			return loc.version == ver
+		}
+		if loc.owner == tx {
+			// Our own write acquisition folded the settled version into the
+			// locator; the read is consistent iff that snapshot matches.
+			return loc.version == ver
+		}
+		word, ok := ownerView(loc)
+		if !ok {
+			continue
+		}
+		st := StatusOf(word)
+		if strict && st == Active {
+			return false
+		}
+		_, cur := settledView(loc, st)
+		return cur == ver
 	}
-	v.mu.Unlock()
-	return ok
 }

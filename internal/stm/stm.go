@@ -8,13 +8,23 @@
 //     first read or write of a transactional variable) and the contention
 //     manager is consulted immediately.
 //   - Visible reads: readers register on the variable, so a writer detects
-//     read-write conflicts and must resolve them before acquiring.
+//     read-write conflicts and must resolve them before committing.
 //   - Clone-based (deferred) updates: a writer installs a tentative value
 //     next to the committed one; the logical value is decided by the
 //     writer's status word, so commit is a single compare-and-swap.
 //   - Remote abort: any transaction can abort an enemy with one CAS on the
-//     enemy's status; the victim discovers the abort at its next open or at
-//     commit and restarts (greedy retry).
+//     enemy's status word; the victim discovers the abort at its next open
+//     or at commit and restarts (greedy retry).
+//
+// The hot path is lock-free (ISSUE 3): a TVar is a word-based ownership
+// record (an atomic locator pointer CAS-acquired on write-open, see
+// tvar.go), visible readers register in a sharded atomic slot array
+// (readerset.go), and the attempt loop allocates nothing on the committed
+// read-only path — each Thread owns one Tx and one Desc that are reused
+// across attempts and transactions. Reuse is made safe by packing an
+// attempt serial into the status word: a remote abort is a CAS against the
+// full packed word, so a stale enemy reference (an attempt that has since
+// terminated and been recycled) can never abort a later attempt.
 //
 // Transactions run inside Thread.Atomic. The user callback reads and writes
 // TVars; when the runtime detects that the current attempt has been aborted
@@ -66,24 +76,51 @@ func (s Status) String() string {
 	}
 }
 
+// Packed status word layout: the low statusBits hold the Status, the rest
+// is the attempt serial. The serial increments once per attempt of the
+// owning thread, so a word names one attempt unambiguously: CASing the
+// word can only take effect on the attempt it was captured from.
+const (
+	statusBits = 2
+	statusMask = 1<<statusBits - 1
+)
+
+// StatusOf extracts the Status from a packed status word (see
+// Tx.StatusWord).
+func StatusOf(word uint64) Status { return Status(word & statusMask) }
+
+// serialOf extracts the attempt serial from a packed status word.
+func serialOf(word uint64) uint64 { return word >> statusBits }
+
 // Desc is the persistent descriptor of one logical transaction. It survives
 // across aborted attempts, which is what lets contention managers implement
 // policies based on age (Greedy, Priority), accumulated work (Karma, Polka),
 // or scheduling state (the window managers).
+//
+// Each Thread owns a single Desc that is recycled across its transactions
+// (the zero-allocation attempt loop), so the identity fields rewritten per
+// transaction and read by enemy transactions — ID and Birth — are atomics.
+// The remaining plain fields are either written once (ThreadID) or only
+// ever accessed on the owning thread (Seq, Attempts, AttemptStart,
+// MaxAttempts, Deadline).
 type Desc struct {
-	// ThreadID identifies the issuing thread, 0 ≤ ThreadID < M.
+	// ThreadID identifies the issuing thread, 0 ≤ ThreadID < M. It is set
+	// once when the runtime is built.
 	ThreadID int
 	// Seq is the 0-based index of this transaction in its thread's stream.
 	// Window managers derive the position inside the current window from it.
+	// Owner-thread-only.
 	Seq int
 	// ID is unique across the runtime and used as a final tie-breaker.
-	ID uint64
+	ID atomic.Uint64
 	// Birth is the time of the transaction's first attempt (ns since the
 	// package epoch). It is the static timestamp of Greedy and Priority.
-	Birth int64
+	Birth atomic.Int64
 	// AttemptStart is the start time of the current attempt.
+	// Owner-thread-only.
 	AttemptStart int64
 	// Attempts counts attempts so far, including the current one.
+	// Owner-thread-only.
 	Attempts int
 	// Karma accumulates successfully opened objects across attempts and is
 	// reset on commit (Karma/Polka priority).
@@ -96,26 +133,43 @@ type Desc struct {
 	Aux atomic.Uint64
 	// MaxAttempts is the attempt budget after which the transaction claims
 	// the serialized-fallback token (0 = unbounded). Seeded from the
-	// runtime's WithFallback configuration.
+	// runtime's WithFallback configuration. Owner-thread-only.
 	MaxAttempts int
 	// Deadline is the absolute time (ns since the package epoch) after
 	// which the transaction claims the fallback token (0 = none).
+	// Owner-thread-only.
 	Deadline int64
 }
 
-// Tx is a single attempt of a logical transaction. A fresh Tx is allocated
-// for every attempt so that a stale enemy reference can never abort a later
-// attempt spuriously.
+// Tx is a single attempt of a logical transaction. Each Thread reuses one
+// Tx value for every attempt it runs; the packed status word's serial
+// distinguishes attempts, so a stale enemy reference can never abort a
+// later attempt spuriously (the abort CAS carries the captured serial).
 type Tx struct {
-	// D is the persistent logical-transaction descriptor.
+	// status is the packed (serial, Status) word — the word enemies read
+	// and CAS. It sits first, on its own cache line, so remote abort
+	// attempts and status polls do not false-share the owner's hot
+	// bookkeeping fields below.
+	status atomic.Uint64
+	_      [56]byte
+
+	// D is the persistent logical-transaction descriptor. Set once at
+	// runtime construction (each thread's Tx points at its own Desc).
 	D        *Desc
 	rt       *Runtime
-	status   atomic.Int32
 	opens    int
 	acquires int
-	reads    []container
-	writes   []container
-	vreads   []vread
+	// yieldIn counts down opens until the next SetYieldEvery yield
+	// (owner-thread-only; see maybeYield).
+	yieldIn int64
+	// Hot-path introspection tallies, reset per attempt and folded into
+	// telemetry at attempt end (owner-thread-only, like opens).
+	casRetries   int
+	readerSpills int
+	poolHits     int
+	poolMisses   int
+	writes       []container
+	vreads       []vread
 }
 
 // OpenCalls reports how many transactional opens (Read and Write calls)
@@ -127,14 +181,77 @@ func (tx *Tx) OpenCalls() int { return tx.opens }
 // acquired. Like OpenCalls it survives cleanup and is owner-thread-only.
 func (tx *Tx) AcquireCount() int { return tx.acquires }
 
-// Status returns the current status of this attempt.
-func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+// CASRetries reports how many lock-free hot-path CAS attempts this attempt
+// had to repeat (ownership-record CASes that lost a race, reader-slot
+// claims that lost a race, and stale-ownership reloads). Owner-thread-only;
+// survives cleanup for attempt-end telemetry folding.
+func (tx *Tx) CASRetries() int { return tx.casRetries }
 
-// Abort aborts tx if it is still active. It is safe to call from any
-// goroutine: this is how contention-manager decisions kill enemies.
-// It reports whether this call performed the transition.
+// ReaderSpills reports how many visible-read registrations of this attempt
+// overflowed a variable's inline reader slots into its spill shard table.
+// Owner-thread-only; survives cleanup.
+func (tx *Tx) ReaderSpills() int { return tx.readerSpills }
+
+// SpillPoolHits reports how many reader spill tables this attempt obtained
+// from the shared pool; SpillPoolMisses counts fresh allocations.
+// Owner-thread-only; survive cleanup.
+func (tx *Tx) SpillPoolHits() int   { return tx.poolHits }
+func (tx *Tx) SpillPoolMisses() int { return tx.poolMisses }
+
+// Status returns the current status of this attempt.
+func (tx *Tx) Status() Status { return StatusOf(tx.status.Load()) }
+
+// StatusWord returns the packed (serial, Status) word of this attempt.
+// Capturing the word and later CASing against it (the runtime does this
+// for contention-manager abort decisions) is the race-free way to act on
+// an enemy observed in a shared structure: if the enemy attempt has since
+// terminated — even if its Tx was recycled for a later attempt — the CAS
+// fails instead of killing the wrong attempt.
+func (tx *Tx) StatusWord() uint64 { return tx.status.Load() }
+
+// serial returns the current attempt serial. Owner-thread-use.
+func (tx *Tx) serial() uint64 { return serialOf(tx.status.Load()) }
+
+// beginAttempt advances the serial, marks the attempt Active and clears
+// the per-attempt tallies. Only the owning thread calls it, and only while
+// the previous attempt is terminated, so a plain store is safe: any stale
+// enemy CAS targets the previous serial and fails regardless.
+func (tx *Tx) beginAttempt() {
+	w := tx.status.Load()
+	tx.status.Store((serialOf(w)+1)<<statusBits | uint64(Active))
+	tx.opens, tx.acquires = 0, 0
+	tx.casRetries, tx.readerSpills = 0, 0
+	tx.poolHits, tx.poolMisses = 0, 0
+}
+
+// Abort aborts tx's current attempt if it is still active. It is safe to
+// call from any goroutine; the chaos layer uses it to inject spurious
+// aborts. It reports whether this call performed the transition.
+//
+// Runtime-internal abort decisions do not use Abort: they CAS against a
+// status word captured when the enemy was discovered (abortWord), so they
+// cannot hit a later attempt. Abort targets whatever attempt is current,
+// which is exactly the semantics a fault injector wants.
 func (tx *Tx) Abort() bool {
-	return tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+	for {
+		w := tx.status.Load()
+		if StatusOf(w) != Active {
+			return false
+		}
+		if tx.status.CompareAndSwap(w, w&^uint64(statusMask)|uint64(Aborted)) {
+			return true
+		}
+	}
+}
+
+// abortWord aborts the attempt named by the captured packed word. It fails
+// (returns false) if that attempt is no longer the active one — committed,
+// aborted, or already recycled into a later attempt.
+func (tx *Tx) abortWord(word uint64) bool {
+	if StatusOf(word) != Active {
+		return false
+	}
+	return tx.status.CompareAndSwap(word, word&^uint64(statusMask)|uint64(Aborted))
 }
 
 // Runtime ties together M threads and a contention manager.
@@ -150,9 +267,6 @@ type Runtime struct {
 	// openProbe is probe unless it declared NoOpenHooks, in which case it
 	// is nil and the per-open dispatch in Read/Write vanishes.
 	openProbe Probe
-	// commits counts committed transactions runtime-wide; the watchdog
-	// samples it to detect lack of progress.
-	commits atomic.Int64
 	// fallback holds the serialized-fallback token (see fallback.go).
 	fallback atomic.Pointer[Desc]
 	// maxAttempts and txDeadline are the fallback budgets new transactions
@@ -167,6 +281,9 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 	if m <= 0 {
 		panic("stm: runtime needs at least one thread")
 	}
+	if m > maxStampThreads {
+		panic("stm: thread count exceeds the reader-stamp encoding")
+	}
 	rt := &Runtime{cm: cm}
 	for _, opt := range opts {
 		opt(rt)
@@ -176,7 +293,14 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 	}
 	rt.threads = make([]*Thread, m)
 	for i := range rt.threads {
-		rt.threads[i] = &Thread{rt: rt, id: i, boState: uint64(i)*0x9E3779B97F4A7C15 + 1}
+		t := &Thread{rt: rt, id: i, boState: uint64(i)*0x9E3779B97F4A7C15 + 1}
+		t.desc.ThreadID = i
+		t.tx.D = &t.desc
+		t.tx.rt = rt
+		// Park the reusable attempt in a terminated state so nothing
+		// mistakes an idle thread for an active enemy.
+		t.tx.status.Store(uint64(Aborted))
+		rt.threads[i] = t
 	}
 	return rt
 }
@@ -202,11 +326,24 @@ func (rt *Runtime) Manager() ContentionManager { return rt.cm }
 // scheduler preemption quanta and conflicts all but disappear.
 func (rt *Runtime) SetYieldEvery(k int) { rt.yieldEvery.Store(int64(k)) }
 
-// Commits returns the number of transactions committed runtime-wide.
-func (rt *Runtime) Commits() int64 { return rt.commits.Load() }
+// Commits returns the number of transactions committed runtime-wide. The
+// count is sharded per thread (each thread bumps only its own padded
+// counter), so the commit hot path never bounces a shared cache line.
+func (rt *Runtime) Commits() int64 {
+	var sum int64
+	for _, t := range rt.threads {
+		sum += t.commits.Load()
+	}
+	return sum
+}
 
 // Thread issues transactions sequentially, mirroring the paper's model of a
 // thread P_i executing N transactions T_i1 … T_iN one after another.
+//
+// The thread owns the storage of its transactions: one Desc recycled per
+// logical transaction and one Tx recycled per attempt. Together with the
+// variable-side pooling (reader slots, locator prev-links) this makes the
+// committed read-only path allocation-free.
 type Thread struct {
 	rt  *Runtime
 	id  int
@@ -214,12 +351,25 @@ type Thread struct {
 	// current is the in-flight transaction's descriptor, nil between
 	// transactions; the watchdog reads it to find starving transactions.
 	current atomic.Pointer[Desc]
+	// commits counts this thread's committed transactions (shard of
+	// Runtime.Commits; the watchdog sums these to detect lack of
+	// progress).
+	commits atomic.Int64
 	// boState is the xorshift state of the invisible-read retry backoff.
 	boState uint64
+
+	// desc and tx are the reusable descriptor and attempt (see Desc and
+	// Tx for the reuse rules).
+	desc Desc
+	tx   Tx
 }
 
 // ID returns the thread index in [0, M).
 func (t *Thread) ID() int { return t.id }
+
+// txp returns the thread's reusable attempt storage (the Tx that reader
+// stamps of this thread always denote).
+func (t *Thread) txp() *Tx { return &t.tx }
 
 // Runtime returns the owning runtime.
 func (t *Thread) Runtime() *Runtime { return t.rt }
@@ -252,22 +402,30 @@ type retrySignal struct{}
 // have side effects outside TVar writes (the usual STM contract).
 func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 	rt := t.rt
-	d := &Desc{
-		ThreadID:    t.id,
-		Seq:         t.seq,
-		ID:          rt.nextID.Add(1),
-		Birth:       now(),
-		MaxAttempts: rt.maxAttempts,
-	}
+	d := &t.desc
+	birth := now()
+	// Recycle the thread's descriptor for this logical transaction. The
+	// enemy-visible identity fields (ID, Birth) are atomics; the CM
+	// scratch words are reset to what a fresh descriptor held.
+	d.Seq = t.seq
+	d.ID.Store(rt.nextID.Add(1))
+	d.Birth.Store(birth)
+	d.Attempts = 0
+	d.Karma.Store(0)
+	d.Waiting.Store(false)
+	d.Aux.Store(0)
+	d.MaxAttempts = rt.maxAttempts
+	d.Deadline = 0
 	if rt.txDeadline > 0 {
-		d.Deadline = d.Birth + int64(rt.txDeadline)
+		d.Deadline = birth + int64(rt.txDeadline)
 	}
 	t.seq++
 	t.current.Store(d)
 	cm := rt.cm
 	var info TxInfo
 	for {
-		tx := &Tx{D: d, rt: rt}
+		tx := &t.tx
+		tx.beginAttempt()
 		d.Attempts++
 		d.AttemptStart = now()
 		info.Attempts++
@@ -276,7 +434,7 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		end := now()
 		if committed {
 			cm.Committed(tx)
-			rt.commits.Add(1)
+			t.commits.Add(1)
 			// Release the fallback token if this transaction held it —
 			// whether acquired below or granted by the watchdog.
 			if rt.fallback.Load() == d {
@@ -284,14 +442,14 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 				rt.releaseFallback(d)
 			}
 			t.current.Store(nil)
-			info.Duration = time.Duration(end - d.Birth)
+			info.Duration = time.Duration(end - birth)
 			info.CommitDur = time.Duration(end - d.AttemptStart)
 			return info
 		}
 		// The attempt aborted: either remotely (status already Aborted) or
 		// by our own AbortSelf decision. Normalize, release everything we
 		// hold, notify the manager, and go around again.
-		tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+		tx.abortWord(tx.status.Load())
 		tx.cleanup()
 		info.Wasted += time.Duration(end - d.AttemptStart)
 		cm.Aborted(tx)
@@ -363,36 +521,37 @@ func (tx *Tx) commit() bool {
 	if p := tx.rt.probe; p != nil {
 		p.OnCommit(tx)
 	}
+	w := tx.status.Load()
 	if tx.rt.invisible && !tx.validateReads(true) {
-		tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+		tx.abortWord(w)
 		return false
 	}
-	if !tx.status.CompareAndSwap(int32(Active), int32(Committed)) {
+	if StatusOf(w) != Active ||
+		!tx.status.CompareAndSwap(w, w&^uint64(statusMask)|uint64(Committed)) {
 		return false
 	}
 	tx.cleanup()
 	return true
 }
 
-// cleanup releases ownerships and reader registrations after the attempt
-// has terminated (either way). Terminated owners are also folded lazily by
-// later accessors, so cleanup is an optimization plus garbage control, not
-// a correctness requirement — except that it bounds reader-set growth.
+// cleanup releases ownerships after the attempt has terminated (either
+// way). With the recycled Tx, folding every owned locator before
+// beginAttempt advances the serial is a hard correctness requirement, not
+// an optimization: an unfolded locator would keep naming this Tx while the
+// pointer starts standing for a different attempt. Visible-read stamps
+// need no cleanup — they die automatically when the serial advances
+// (readerset.go).
 func (tx *Tx) cleanup() {
 	for _, c := range tx.writes {
 		c.release(tx)
 	}
-	for _, c := range tx.reads {
-		c.dropReader(tx)
-	}
 	tx.writes = tx.writes[:0]
-	tx.reads = tx.reads[:0]
 	tx.vreads = tx.vreads[:0]
 }
 
 // selfAbort marks the attempt aborted and unwinds the callback.
 func (tx *Tx) selfAbort() {
-	tx.status.CompareAndSwap(int32(Active), int32(Aborted))
+	tx.abortWord(tx.status.Load())
 	panic(retrySignal{})
 }
 
@@ -403,11 +562,15 @@ func (tx *Tx) checkAlive() {
 	}
 }
 
-// resolve consults the contention manager about enemy and carries out the
-// decision. attempt counts consecutive resolutions within one open
-// operation, which Polka-style managers use as their backoff round.
-// resolve must be called without holding any variable lock.
-func (tx *Tx) resolve(enemy *Tx, kind Kind, attempt *int) {
+// resolve consults the contention manager about the enemy attempt named by
+// the packed status word eword (captured when the conflict was discovered)
+// and carries out the decision. attempt counts consecutive resolutions
+// within one open operation, which Polka-style managers use as their
+// backoff round. An AbortEnemy decision CASes against eword, so it can
+// only kill the attempt that was actually observed — never a later
+// recycled attempt of the same Tx. resolve must be called while holding no
+// speculative invariants that a Wait could violate (it may sleep).
+func (tx *Tx) resolve(enemy *Tx, eword uint64, kind Kind, attempt *int) {
 	*attempt++
 	dec, wait := tx.rt.cm.Resolve(tx, enemy, kind, *attempt)
 	if p := tx.rt.probe; p != nil {
@@ -415,7 +578,7 @@ func (tx *Tx) resolve(enemy *Tx, kind Kind, attempt *int) {
 	}
 	switch dec {
 	case AbortEnemy:
-		enemy.Abort()
+		enemy.abortWord(eword)
 	case AbortSelf:
 		tx.selfAbort()
 	case Wait:

@@ -327,22 +327,36 @@ func TestUserPanicPropagates(t *testing.T) {
 	rt.Thread(0).Atomic(func(tx *stm.Tx) { panic("user panic") })
 }
 
-// TestDescFieldsStable checks the identity fields a CM depends on.
+// TestDescFieldsStable checks the identity fields a CM depends on. The
+// descriptor storage is recycled across a thread's transactions (the
+// zero-allocation attempt loop), so the fields are captured as values
+// inside each transaction — the per-transaction identity, not the pointer,
+// is what must be stable.
 func TestDescFieldsStable(t *testing.T) {
 	rt := runtimeWith(t, "aggressive", 2)
-	var d0, d1 *stm.Desc
-	rt.Thread(0).Atomic(func(tx *stm.Tx) { d0 = tx.D })
-	rt.Thread(0).Atomic(func(tx *stm.Tx) { d1 = tx.D })
-	if d0.ThreadID != 0 || d1.ThreadID != 0 {
-		t.Errorf("thread IDs = %d,%d, want 0,0", d0.ThreadID, d1.ThreadID)
+	type snap struct {
+		threadID int
+		seq      int
+		id       uint64
+		birth    int64
 	}
-	if d0.Seq != 0 || d1.Seq != 1 {
-		t.Errorf("seqs = %d,%d, want 0,1", d0.Seq, d1.Seq)
+	var s0, s1 snap
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		s0 = snap{tx.D.ThreadID, tx.D.Seq, tx.D.ID.Load(), tx.D.Birth.Load()}
+	})
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		s1 = snap{tx.D.ThreadID, tx.D.Seq, tx.D.ID.Load(), tx.D.Birth.Load()}
+	})
+	if s0.threadID != 0 || s1.threadID != 0 {
+		t.Errorf("thread IDs = %d,%d, want 0,0", s0.threadID, s1.threadID)
 	}
-	if d0.ID == d1.ID {
+	if s0.seq != 0 || s1.seq != 1 {
+		t.Errorf("seqs = %d,%d, want 0,1", s0.seq, s1.seq)
+	}
+	if s0.id == s1.id {
 		t.Error("descriptor IDs not unique")
 	}
-	if d0.Birth > d1.Birth {
+	if s0.birth > s1.birth {
 		t.Error("births not monotone within a thread")
 	}
 }

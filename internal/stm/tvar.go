@@ -2,7 +2,7 @@ package stm
 
 import (
 	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,8 +10,59 @@ import (
 // and invisible-read validation use; it keeps Tx free of type parameters.
 type container interface {
 	release(tx *Tx)
-	dropReader(tx *Tx)
 	validate(tx *Tx, ver uint64, strict bool) bool
+}
+
+// locator is the word-based ownership record of a TVar: the DSTM locator
+// with the fold collapsed into the CAS path. The variable holds a single
+// atomic pointer to its current locator; acquiring ownership, committing a
+// fold and restoring an aborted write are all CASes of that one word.
+//
+// Every field is immutable after the locator is published, with one
+// deliberate exception: newVal may be rewritten by the owning attempt
+// while it is Active (re-writes of an owned variable are in-place and
+// allocation-free). Other threads read newVal only after observing the
+// owner's status word as Committed, which orders those reads after every
+// owner write — so the exception is race-free.
+//
+// owner == nil marks a quiescent locator: the committed value lives in
+// oldVal and version is its commit version. owner != nil names the attempt
+// (Tx pointer plus attempt serial) that installed the locator; the logical
+// value is then decided by that attempt's packed status word (settledView).
+type locator[T any] struct {
+	owner   *Tx
+	serial  uint64 // owner's attempt serial at acquisition
+	oldVal  T      // committed value at acquisition
+	newVal  T      // owner's tentative value
+	version uint64 // commit version of oldVal
+	// prev is the quiescent locator this acquisition replaced, if the
+	// replaced locator was already quiescent. An aborting owner restores
+	// it with one CAS instead of allocating a fold.
+	prev *locator[T]
+}
+
+// settledView resolves the committed value and version of loc given the
+// owner status st observed for loc's owning attempt. It is the old
+// per-variable fold with every writer status spelled out:
+//
+//   - Committed: the tentative value has logically taken effect even if no
+//     fold CAS has landed yet — the value is newVal at version+1.
+//   - Aborted: the write never happened; the value is oldVal at version.
+//   - Active: the writer is still speculative, so the committed value is
+//     still oldVal at version (callers that cannot tolerate an active
+//     writer resolve the conflict before calling this).
+func settledView[T any](loc *locator[T], st Status) (T, uint64) {
+	switch st {
+	case Committed:
+		return loc.newVal, loc.version + 1
+	case Aborted:
+		return loc.oldVal, loc.version
+	case Active:
+		return loc.oldVal, loc.version
+	default:
+		// Unreachable: status words only carry the three states above.
+		return loc.oldVal, loc.version
+	}
 }
 
 // TVar is a transactional variable holding a value of type T. Values are
@@ -19,88 +70,131 @@ type container interface {
 // (benchmark data structures store small node structs and build linkage
 // with *TVar pointers, which are stable identities).
 //
-// The representation is the DSTM locator collapsed into the variable:
-// val is the last committed value; while writer is an active attempt,
-// pending is its tentative value and the logical value is decided by the
-// writer's status word. fold collapses a terminated writer.
+// The representation is lock-free: loc is the word-based ownership record
+// (see locator) and readers is the sharded visible-reader table (see
+// readerset.go). There is no per-variable mutex anywhere.
 type TVar[T any] struct {
-	mu      sync.Mutex
-	val     T
-	pending T
-	version uint64 // bumped each time a writer's commit folds in
-	writer  *Tx
-	readers map[*Tx]struct{}
+	loc     atomic.Pointer[locator[T]]
+	readers readerSet
 }
 
 // NewTVar returns a variable initialized to v. The zero TVar holds the
 // zero value of T and is also ready to use.
 func NewTVar[T any](v T) *TVar[T] {
-	return &TVar[T]{val: v}
+	tv := &TVar[T]{}
+	tv.loc.Store(&locator[T]{oldVal: v})
+	return tv
+}
+
+// load returns the variable's current locator, installing the zero-value
+// quiescent locator on first touch of a zero TVar.
+func (v *TVar[T]) load() *locator[T] {
+	if l := v.loc.Load(); l != nil {
+		return l
+	}
+	v.loc.CompareAndSwap(nil, new(locator[T]))
+	return v.loc.Load()
+}
+
+// ownerView inspects loc's ownership for accessor tx. It returns the
+// observed packed status word of the owning attempt and ok=true when the
+// observation is coherent; ok=false means loc went stale underneath us
+// (its owner has already folded and moved on) and the caller must reload
+// the locator. For a quiescent locator it returns ok=true with an
+// artificial Committed-free view (owner nil handled by callers first).
+func ownerView[T any](loc *locator[T]) (word uint64, ok bool) {
+	w := loc.owner.status.Load()
+	// The serial binds the word to the acquiring attempt: owners fold
+	// every owned locator before recycling the Tx for the next attempt,
+	// so a mismatch proves loc is no longer reachable from the variable.
+	return w, serialOf(w) == loc.serial
 }
 
 // Peek returns the current committed value without a transaction. It is
 // linearizable on its own but provides no consistency across multiple
 // Peeks; tests and verification code use it between runs.
 func (v *TVar[T]) Peek() T {
-	v.mu.Lock()
-	v.fold()
-	val := v.val
-	v.mu.Unlock()
-	return val
+	for {
+		loc := v.load()
+		if loc.owner == nil {
+			return loc.oldVal
+		}
+		w, ok := ownerView(loc)
+		if !ok {
+			continue
+		}
+		val, _ := settledView(loc, StatusOf(w))
+		return val
+	}
 }
 
-// Set stores a committed value without a transaction. It must only be used
-// while no transactions are running (e.g. populating a benchmark).
+// Set stores a committed value without a transaction, linearizable at its
+// CAS. It is meant for populating benchmarks between runs; racing it
+// against active transactions is memory-safe and race-clean, but a
+// concurrent transactional write of the same variable may be overwritten
+// (last CAS wins).
 func (v *TVar[T]) Set(val T) {
-	v.mu.Lock()
-	v.fold()
-	v.val = val
-	v.version++
-	v.mu.Unlock()
-}
-
-// fold collapses a terminated writer into the committed value.
-// Callers must hold v.mu.
-func (v *TVar[T]) fold() {
-	if v.writer == nil {
-		return
+	for {
+		loc := v.load()
+		var ver uint64
+		if loc.owner == nil {
+			ver = loc.version
+		} else {
+			w, ok := ownerView(loc)
+			if !ok {
+				continue
+			}
+			_, ver = settledView(loc, StatusOf(w))
+		}
+		if v.loc.CompareAndSwap(loc, &locator[T]{oldVal: val, version: ver + 1}) {
+			return
+		}
 	}
-	switch v.writer.Status() {
-	case Committed:
-		v.val = v.pending
-		v.version++
-	case Active:
-		return
-	}
-	var zero T
-	v.pending = zero
-	v.writer = nil
 }
 
 // release folds the variable if tx owns it (post-termination cleanup).
+// A committed owner installs the folded quiescent locator; an aborted
+// owner restores the pre-acquisition locator (prev) when it is available,
+// avoiding the allocation entirely.
 func (v *TVar[T]) release(tx *Tx) {
-	v.mu.Lock()
-	if v.writer == tx {
-		v.fold()
+	for {
+		loc := v.loc.Load()
+		if loc == nil || loc.owner != tx {
+			// Not ours (or already replaced by an acquiring enemy that
+			// folded us into its own CAS path).
+			return
+		}
+		var next *locator[T]
+		switch tx.Status() {
+		case Committed:
+			next = &locator[T]{oldVal: loc.newVal, version: loc.version + 1}
+		case Aborted:
+			if loc.prev != nil {
+				next = loc.prev
+			} else {
+				next = &locator[T]{oldVal: loc.oldVal, version: loc.version}
+			}
+		default:
+			// release only runs after termination; tolerate a torn call.
+			return
+		}
+		if v.loc.CompareAndSwap(loc, next) {
+			return
+		}
 	}
-	v.mu.Unlock()
-}
-
-// dropReader removes tx from the reader set.
-func (v *TVar[T]) dropReader(tx *Tx) {
-	v.mu.Lock()
-	delete(v.readers, tx)
-	v.mu.Unlock()
 }
 
 // Read opens v for reading inside tx and returns its value. The read is
-// visible: tx registers in the reader set so later writers conflict with
-// it. If tx has written v, Read returns the tentative value.
+// visible: tx registers in the variable's reader table so later writers
+// conflict with it. If tx has written v, Read returns the tentative value.
 //
 // Opacity: the value returned is always the latest committed value at a
 // moment when tx was still active, and any transaction that later writes v
-// must first resolve against tx, so no attempt ever observes state from
-// two different commit orders.
+// must first resolve against tx (writers scan the reader table after
+// acquiring), so no attempt ever observes state from two different commit
+// orders. The registration-then-load order is what closes the race: the
+// value is always loaded after the registration is visible, so a writer
+// acquiring concurrently either sees our slot or we see its ownership.
 func Read[T any](tx *Tx, v *TVar[T]) T {
 	if tx.rt.invisible {
 		return readInvisible(tx, v)
@@ -109,46 +203,45 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 	if p := tx.rt.openProbe; p != nil {
 		p.OnOpen(tx)
 	}
+	// Stamp the registration before the first locator load: every value
+	// below is read with the stamp already visible, so a concurrent writer
+	// either sees the stamp in its post-acquisition scan or we see its
+	// ownership here. (Stamping a variable tx itself owns is harmless —
+	// writer scans skip the writer's own slot.)
+	if v.readers.register(tx) {
+		tx.rt.cm.Opened(tx)
+	}
 	attempt := 0
 	for {
 		tx.checkAlive()
-		v.mu.Lock()
-		v.fold()
-		if w := v.writer; w != nil && w != tx {
-			v.mu.Unlock()
-			tx.resolve(w, ReadWrite, &attempt)
+		loc := v.load()
+		w := loc.owner
+		if w == nil {
+			return loc.oldVal
+		}
+		if w == tx {
+			return loc.newVal
+		}
+		word, ok := ownerView(loc)
+		if !ok {
+			tx.casRetries++
 			continue
 		}
-		if tx.Status() != Active {
-			v.mu.Unlock()
-			panic(retrySignal{})
+		if StatusOf(word) == Active {
+			tx.resolve(w, word, ReadWrite, &attempt)
+			continue
 		}
-		var val T
-		opened := false
-		if v.writer == tx {
-			val = v.pending
-		} else {
-			val = v.val
-			if _, ok := v.readers[tx]; !ok {
-				if v.readers == nil {
-					v.readers = make(map[*Tx]struct{}, 2)
-				}
-				v.readers[tx] = struct{}{}
-				tx.reads = append(tx.reads, v)
-				opened = true
-			}
-		}
-		v.mu.Unlock()
-		if opened {
-			tx.rt.cm.Opened(tx)
-		}
+		val, _ := settledView(loc, StatusOf(word))
 		return val
 	}
 }
 
 // Write opens v for writing inside tx and installs val as the tentative
-// value. Acquisition is eager: all write-write and write-read conflicts are
-// resolved before the ownership is taken.
+// value. Acquisition is eager and lock-free: ownership is taken with one
+// CAS on the variable's locator word (any terminated previous owner is
+// folded into the same CAS), then all visible readers are resolved before
+// the open returns — so every write-write and write-read conflict is
+// arbitrated by the contention manager before user code proceeds.
 func Write[T any](tx *Tx, v *TVar[T], val T) {
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
@@ -157,49 +250,62 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 	attempt := 0
 	for {
 		tx.checkAlive()
-		v.mu.Lock()
-		v.fold()
-		if w := v.writer; w != nil && w != tx {
-			v.mu.Unlock()
-			tx.resolve(w, WriteWrite, &attempt)
-			continue
-		}
-		// Resolve visible readers other than ourselves; clean dead ones.
-		var enemy *Tx
-		for r := range v.readers {
-			if r == tx {
+		loc := v.load()
+		if w := loc.owner; w != nil {
+			if w == tx {
+				// Re-write of an owned variable: in-place, no allocation.
+				// Only the owner mutates newVal and only while Active;
+				// enemies read it strictly after observing Committed.
+				loc.newVal = val
+				return
+			}
+			word, ok := ownerView(loc)
+			if !ok {
+				tx.casRetries++
 				continue
 			}
-			if r.Status() == Active {
-				enemy = r
-				break
+			if StatusOf(word) == Active {
+				tx.resolve(w, word, WriteWrite, &attempt)
+				continue
 			}
-			delete(v.readers, r)
+			// Terminated owner: fold it into our acquisition CAS.
 		}
-		if enemy != nil {
-			v.mu.Unlock()
-			tx.resolve(enemy, WriteRead, &attempt)
+		// Resolve visible readers before acquiring, so contention-manager
+		// waits against readers are served while holding nothing — an
+		// ownership held through a sleep would serialize every reader of
+		// the variable behind this writer.
+		v.readers.resolveWriters(tx, &attempt)
+		next := &locator[T]{owner: tx, serial: tx.serial(), newVal: val}
+		if loc.owner == nil {
+			next.oldVal, next.version = loc.oldVal, loc.version
+			next.prev = loc
+		} else {
+			word, ok := ownerView(loc)
+			if !ok {
+				tx.casRetries++
+				continue
+			}
+			next.oldVal, next.version = settledView(loc, StatusOf(word))
+		}
+		if !v.loc.CompareAndSwap(loc, next) {
+			tx.casRetries++
 			continue
 		}
+		tx.writes = append(tx.writes, v)
+		tx.acquires++
+		// Re-scan after the acquisition CAS: a reader that registered
+		// during the race sees our ownership on its post-registration
+		// reload, and one registered before is seen here — either way the
+		// read-write conflict is resolved before we can commit. The scan is
+		// normally settled already (the pre-acquisition pass drained it).
+		v.readers.resolveWriters(tx, &attempt)
 		if tx.Status() != Active {
-			v.mu.Unlock()
 			panic(retrySignal{})
 		}
-		opened := false
-		if v.writer != tx {
-			v.writer = tx
-			tx.writes = append(tx.writes, v)
-			tx.acquires++
-			opened = true
+		if p := tx.rt.openProbe; p != nil {
+			p.OnAcquire(tx)
 		}
-		v.pending = val
-		v.mu.Unlock()
-		if opened {
-			if p := tx.rt.openProbe; p != nil {
-				p.OnAcquire(tx)
-			}
-			tx.rt.cm.Opened(tx)
-		}
+		tx.rt.cm.Opened(tx)
 		return
 	}
 }
@@ -211,22 +317,27 @@ func Modify[T any](tx *Tx, v *TVar[T], f func(T) T) {
 }
 
 // maybeYield implements the runtime's interleaving knob (SetYieldEvery):
-// every k-th open yields the processor. It runs before any variable lock
-// is taken. The open count it maintains doubles as the attempt's open
-// tally (OpenCalls), so it is kept even when yielding is off.
+// every k-th open yields the processor. It runs before any ownership CAS
+// is attempted. The open count it maintains doubles as the attempt's open
+// tally (OpenCalls), so it is kept even when yielding is off. The cadence
+// is tracked with a countdown rather than opens%k — the modulo's hardware
+// division is measurable at one call per open.
 func (tx *Tx) maybeYield() {
 	tx.opens++
 	k := tx.rt.yieldEvery.Load()
 	if k <= 0 {
 		return
 	}
-	if int64(tx.opens)%k == 0 {
+	tx.yieldIn--
+	if tx.yieldIn <= 0 {
+		tx.yieldIn = k
 		runtime.Gosched()
 	}
 }
 
 // spinThreshold is the wait length below which waitFor spins (yielding the
-// processor) instead of sleeping; time.Sleep cannot resolve microseconds.
+// processor) instead of sleeping; time.Sleep cannot resolve microseconds,
+// and parking every waiter empties the runqueue when conflicts cluster.
 const spinThreshold = 50 * time.Microsecond
 
 // waitFor blocks the calling goroutine for roughly d.

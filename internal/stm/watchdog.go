@@ -66,7 +66,7 @@ func (w *Watchdog) run() {
 func (w *Watchdog) tick() {
 	rt := w.rt
 	rt.clearStaleFallback()
-	commits := rt.commits.Load()
+	commits := rt.Commits()
 	progressed := commits != w.lastCommits
 	w.lastCommits = commits
 	if progressed {
@@ -92,8 +92,8 @@ func (w *Watchdog) oldestInflight() *Desc {
 		if d == nil {
 			continue
 		}
-		if oldest == nil || d.Birth < oldest.Birth ||
-			(d.Birth == oldest.Birth && d.ID < oldest.ID) {
+		if oldest == nil || d.Birth.Load() < oldest.Birth.Load() ||
+			(d.Birth.Load() == oldest.Birth.Load() && d.ID.Load() < oldest.ID.Load()) {
 			oldest = d
 		}
 	}

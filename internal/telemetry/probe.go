@@ -33,6 +33,10 @@ type Probe struct {
 	ResolveAbortEnemy, ResolveAbortSelf, ResolveWait *Counter
 	// WaitNs is the histogram of granted Wait spans (CM backoff waits).
 	WaitNs *Histogram
+	// Lock-free hot-path gauges (ISSUE 3): ownership-CAS retries, visible
+	// reads that landed in a spill-table slot rather than an inline one, and
+	// the spill-table pool's hit/miss split. All folded in at attempt end.
+	CASRetries, ReaderSpills, SpillPoolHits, SpillPoolMisses *Counter
 
 	mask    uint32
 	scratch []probeScratch
@@ -62,15 +66,23 @@ func NewProbe(r *Registry, shards int) *Probe {
 		ResolveAbortSelf:  r.NewCounter("wincm_resolve_abort_self_total", "conflicts resolved by self-abort", shards),
 		ResolveWait:       r.NewCounter("wincm_resolve_wait_total", "conflicts resolved by waiting", shards),
 		WaitNs:            r.NewHistogram("wincm_cm_wait_ns", "contention-manager backoff wait spans", shards),
+		CASRetries:        r.NewCounter("wincm_cas_retries_total", "ownership-record CAS retries", shards),
+		ReaderSpills:      r.NewCounter("wincm_reader_spills_total", "visible reads registered in spill-table slots", shards),
+		SpillPoolHits:     r.NewCounter("wincm_spill_pool_hits_total", "spill tables served from the pool", shards),
+		SpillPoolMisses:   r.NewCounter("wincm_spill_pool_misses_total", "spill tables freshly allocated", shards),
 		mask:              uint32(n - 1),
 		scratch:           make([]probeScratch, n),
 	}
 }
 
-// foldAttempt records the attempt's open/acquire tallies.
+// foldAttempt records the attempt's open/acquire and hot-path tallies.
 func (p *Probe) foldAttempt(shard int, tx *stm.Tx) {
 	p.Opens.Add(shard, int64(tx.OpenCalls()))
 	p.Acquires.Add(shard, int64(tx.AcquireCount()))
+	p.CASRetries.Add(shard, int64(tx.CASRetries()))
+	p.ReaderSpills.Add(shard, int64(tx.ReaderSpills()))
+	p.SpillPoolHits.Add(shard, int64(tx.SpillPoolHits()))
+	p.SpillPoolMisses.Add(shard, int64(tx.SpillPoolMisses()))
 }
 
 // NoOpenHooks implements stm.OpenHookFree: the runtime skips this probe's
@@ -89,7 +101,7 @@ func (p *Probe) OnCommit(tx *stm.Tx) {
 	p.CommitCalls.Inc(shard)
 	p.foldAttempt(shard, tx)
 	s := &p.scratch[uint32(shard)&p.mask]
-	s.lastID, s.lastAttempt = tx.D.ID, tx.D.Attempts
+	s.lastID, s.lastAttempt = tx.D.ID.Load(), tx.D.Attempts
 }
 
 // OnAbort implements stm.Probe. Attempts that reached the commit point
@@ -99,7 +111,7 @@ func (p *Probe) OnAbort(tx *stm.Tx) {
 	shard := tx.D.ThreadID
 	p.AbortEvents.Inc(shard)
 	s := &p.scratch[uint32(shard)&p.mask]
-	if s.lastID != tx.D.ID || s.lastAttempt != tx.D.Attempts {
+	if s.lastID != tx.D.ID.Load() || s.lastAttempt != tx.D.Attempts {
 		p.foldAttempt(shard, tx)
 	}
 }

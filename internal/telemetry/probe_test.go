@@ -10,7 +10,9 @@ import (
 )
 
 func fakeTx(thread int, id uint64, attempt int) *stm.Tx {
-	return &stm.Tx{D: &stm.Desc{ThreadID: thread, ID: id, Attempts: attempt}}
+	d := &stm.Desc{ThreadID: thread, Attempts: attempt}
+	d.ID.Store(id)
+	return &stm.Tx{D: d}
 }
 
 func TestProbeHooks(t *testing.T) {
@@ -106,6 +108,18 @@ func TestProbeOnLiveRuntime(t *testing.T) {
 	}
 	if h := s.Histograms["wincm_tx_attempts"]; h.Count != threads*per {
 		t.Errorf("attempts histogram count = %d", h.Count)
+	}
+	// The lock-free hot-path gauges must be registered (and hence visible
+	// on /metrics) even when the run never exercised them.
+	for _, name := range []string{
+		"wincm_cas_retries_total",
+		"wincm_reader_spills_total",
+		"wincm_spill_pool_hits_total",
+		"wincm_spill_pool_misses_total",
+	} {
+		if _, ok := s.Counters[name]; !ok {
+			t.Errorf("hot-path counter %s not registered", name)
+		}
 	}
 }
 
