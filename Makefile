@@ -28,14 +28,19 @@ bench:
 
 # The CI regression gate: rerun the baseline cells and compare with
 # cmd/benchcmp (fails on >10% ns/op regression against bench_baseline.txt).
+# The baseline spans two packages: the data-structure workloads in
+# internal/bench and the frame-clock cells in internal/core.
 BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted'
+CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M16$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
+	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a /tmp/bench_new.txt
 	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee bench_baseline.txt
+	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a bench_baseline.txt
 
 # Reproduce the paper's figures (CI-scale; add -paper for the full regime).
 figures:

@@ -1,31 +1,112 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"wincm/internal/bench"
 	"wincm/internal/stm"
 )
 
 // BenchmarkFrameClockCurrent measures the hot-path frame read (taken on
 // every conflict resolution).
 func BenchmarkFrameClockCurrent(b *testing.B) {
-	c := newFrameClock(false, time.Millisecond)
+	c := newFrameClock(false, time.Millisecond, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Current()
 	}
 }
 
-// BenchmarkFrameClockCommit measures the dynamic-mode commit bookkeeping.
+// BenchmarkFrameClockCommit measures the dynamic-mode commit bookkeeping,
+// paired register/commit at the clock's live horizon — the shape a real
+// window schedule produces (the pre-ISSUE-4 version registered b.N
+// distinct frames up front, a horizon no windowed schedule can reach).
 func BenchmarkFrameClockCommit(b *testing.B) {
-	c := newFrameClock(true, time.Hour)
-	for i := 0; i < b.N; i++ {
-		c.register(int64(i))
-	}
+	c := newFrameClock(true, time.Hour, 50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.commitAt(int64(i))
+		f := c.Current() + int64(i&3)
+		c.register(f)
+		c.commitAt(f)
+	}
+}
+
+// BenchmarkFrameClockCommitParallel hammers one dynamic clock's
+// register/commit bookkeeping from 16 goroutines — the contention shape
+// every committing thread of a -Dynamic manager puts on the clock. Each
+// worker refreshes its frame base from Current() every 8 ops, mirroring
+// how the manager reads the clock once per segment rather than between
+// every register/commit pair; that keeps the cell measuring the shared
+// bookkeeping instead of the fixed-cost monotonic clock read (~36ns on
+// the reference machine, identical for any bookkeeping design). Tracked
+// in bench_baseline.txt; the lock-free ring's 2× target is measured here.
+func BenchmarkFrameClockCommitParallel(b *testing.B) {
+	const workers = 16
+	c := newFrameClock(true, time.Hour, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := b.N / workers
+		if w < b.N%workers {
+			quota++
+		}
+		wg.Add(1)
+		go func(quota int) {
+			defer wg.Done()
+			base := c.Current()
+			for i := 0; i < quota; i++ {
+				if i&7 == 0 {
+					base = c.Current()
+				}
+				f := base + int64(i&3)
+				c.register(f)
+				c.commitAt(f)
+			}
+		}(quota)
+	}
+	wg.Wait()
+}
+
+// benchmarkDynamicManagerList runs the paper's sorted-list workload
+// end-to-end under Online-Dynamic: every commit goes through the frame
+// clock's dynamic bookkeeping, so the clock's scalability shows up here as
+// whole-system throughput.
+func benchmarkDynamicManagerList(b *testing.B, threads int) {
+	m := NewManager(DefaultConfig(OnlineDynamic, threads))
+	rt := stm.New(threads, m)
+	s := bench.NewList()
+	bench.Populate(rt.Thread(0), s, 128, 256, 1)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		quota := b.N / threads
+		if i < b.N%threads {
+			quota++
+		}
+		wg.Add(1)
+		go func(id, quota int, th *stm.Thread) {
+			defer wg.Done()
+			g := bench.NewGen(bench.Mix{UpdatePct: 100, KeyRange: 256}, uint64(id)*7919+1)
+			for n := 0; n < quota; n++ {
+				op := g.Next()
+				th.Atomic(func(tx *stm.Tx) { bench.Apply(tx, s, op) })
+			}
+		}(i, quota, rt.Thread(i))
+	}
+	wg.Wait()
+}
+
+// BenchmarkDynamicManagerList is the end-to-end cell for the dynamic frame
+// clock (M=16 is the baseline-gated configuration; M=4/8 feed the
+// EXPERIMENTS.md scaling table).
+func BenchmarkDynamicManagerList(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) { benchmarkDynamicManagerList(b, m) })
 	}
 }
 

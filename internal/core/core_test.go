@@ -180,7 +180,7 @@ func TestCIEstimatorMonotoneSamples(t *testing.T) {
 }
 
 func TestFrameClockStaticAdvancesWithTime(t *testing.T) {
-	c := newFrameClock(false, 2*time.Millisecond)
+	c := newFrameClock(false, 2*time.Millisecond, 50)
 	if f := c.Current(); f != 0 {
 		t.Fatalf("initial frame = %d", f)
 	}
@@ -191,14 +191,14 @@ func TestFrameClockStaticAdvancesWithTime(t *testing.T) {
 }
 
 func TestFrameClockMinDuration(t *testing.T) {
-	c := newFrameClock(false, 0)
+	c := newFrameClock(false, 0, 50)
 	if d := c.dur.Load(); d < int64(minFrameDur) {
 		t.Errorf("duration %d below minimum", d)
 	}
 }
 
 func TestFrameClockDynamicContraction(t *testing.T) {
-	c := newFrameClock(true, time.Hour) // time can never advance it
+	c := newFrameClock(true, time.Hour, 50) // time can never advance it
 	c.register(0)
 	c.register(1)
 	c.register(3) // frame 2 intentionally empty
@@ -222,7 +222,7 @@ func TestFrameClockDynamicContraction(t *testing.T) {
 }
 
 func TestFrameClockDynamicExpansionCap(t *testing.T) {
-	c := newFrameClock(true, time.Millisecond)
+	c := newFrameClock(true, time.Millisecond, 50)
 	c.register(0)
 	// Never commit: the frame must still end after expandFactor durations.
 	deadline := time.Now().Add(200 * time.Millisecond)
@@ -235,7 +235,7 @@ func TestFrameClockDynamicExpansionCap(t *testing.T) {
 }
 
 func TestFrameClockUnregister(t *testing.T) {
-	c := newFrameClock(true, time.Hour)
+	c := newFrameClock(true, time.Hour, 50)
 	c.register(0)
 	c.register(0)
 	c.unregister(0)

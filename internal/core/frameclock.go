@@ -16,6 +16,59 @@ const expandFactor = 2
 // before the first commit provides a τ̂ sample.
 const minFrameDur = time.Microsecond
 
+// Ring slot layout: one atomic word per slot packs the frame the slot
+// currently counts for (the tag) and its not-yet-committed registration
+// count. A slot whose count is zero is free and can be re-tagged by any
+// frame that hashes to it; a slot whose count is non-zero belongs to its
+// tagged frame until that frame drains, and other frames hashing there
+// take the overflow slow path instead.
+const (
+	slotCountBits = 24
+	slotCountMask = 1<<slotCountBits - 1
+	slotTagMax    = 1<<(64-slotCountBits) - 1
+)
+
+func packSlot(frame, count int64) uint64 {
+	return uint64(frame)<<slotCountBits | uint64(count)
+}
+
+func unpackSlot(w uint64) (frame, count int64) {
+	return int64(w >> slotCountBits), int64(w & slotCountMask)
+}
+
+// clockSlot is one cache-line-padded pending counter of the ring, so two
+// adjacent frames hammered by different committers never share a line.
+type clockSlot struct {
+	w atomic.Uint64
+	_ [56]byte
+}
+
+// ringSlots sizes the pending ring from the window length N. A thread's
+// segment occupies frames [base, base+q+N) with q < α ≤ N, so the live
+// horizon ahead of the current frame is at most 2N; behind it, frames stay
+// pending only while a straggling transaction has missed its frame. 4N
+// plus fixed slack covers both with room to spare, and anything that still
+// collides lands in the guarded overflow path rather than corrupting a
+// counter.
+func ringSlots(n int) int {
+	want := 4*n + 64
+	size := 64
+	for size < want {
+		size *= 2
+	}
+	return size
+}
+
+// frameClockStats counts the clock's slow and contended events. They are
+// written on the advance/overflow paths only — never on the per-call fast
+// path — and surface as wincm_frameclock_*_total telemetry gauges.
+type frameClockStats struct {
+	casRetries    atomic.Int64 // failed CASes on the state word or a ring slot
+	ringOverflows atomic.Int64 // registrations diverted to the overflow map
+	contractions  atomic.Int64 // drain-driven frame advances (dynamic mode)
+	expansions    atomic.Int64 // time-driven frame advances (dynamic mode)
+}
+
 // frameClock is the shared frame counter of a window manager.
 //
 // Static mode: the current frame advances purely with time, every frame
@@ -25,30 +78,72 @@ const minFrameDur = time.Microsecond
 // (pending counts). The current frame advances as soon as its pending count
 // drops to zero — contraction — skipping over registered-empty frames, and
 // is forced forward after expandFactor durations — bounded expansion.
+//
+// The clock is lock-free. The current frame and an "advancing" bit share
+// one packed state word (cur<<1 | busy): readers take one atomic load, and
+// an advance is a CAS that sets the bit, a short private computation, and
+// a single store that publishes the new frame and releases the bit at
+// once. At most one caller ever performs an advance; every other caller
+// reads the freshly published frame instead of queuing. Pending counts
+// live in a power-of-two ring of cache-line-padded atomic counters indexed
+// by frame & (ringSize-1), each slot tagged with the frame it counts for;
+// a registration whose slot is held by another still-pending frame takes a
+// guarded mutex+map overflow path, counted in telemetry, so aliasing can
+// never corrupt a count. Frame starts (started, ns) ride outside the
+// packed word — 64-bit timestamps do not fit next to the frame index —
+// which is safe because started is written only while the busy bit is
+// held and read only for deadline checks, where a stale value at worst
+// sends a caller into an advance attempt that loses its CAS and returns.
 type frameClock struct {
 	dynamic bool
 	epoch   time.Time
-	dur     atomic.Int64 // frame duration, ns
-	cur     atomic.Int64 // current frame index
-	started atomic.Int64 // ns when the current frame started
+	nowFn   func() int64 // test hook; nil → monotonic ns since epoch
 
-	mu      sync.Mutex
-	pending map[int64]int64 // frame → not-yet-committed registered txs
-	maxReg  int64           // highest frame with a registration ever
+	dur     atomic.Int64  // frame duration, ns
+	state   atomic.Uint64 // packed: current frame <<1 | advancing bit
+	started atomic.Int64  // ns when the current frame started (advancer-owned)
+	advReq  atomic.Uint32 // parked drain-advance request (helping flag)
+
+	maxReg       atomic.Int64 // highest frame with a registration ever
+	totalPending atomic.Int64 // not-yet-committed registrations, all frames
+	ring         []clockSlot
+	ringMask     uint64
+
+	// Overflow slow path: frames whose ring slot is occupied by another
+	// pending frame are counted here. ofPending is the gate that keeps the
+	// fast paths from ever touching ofMu while the map is empty.
+	ofMu      sync.Mutex
+	ofMap     map[int64]int64
+	ofPending atomic.Int64
+
+	stats frameClockStats
 }
 
-func newFrameClock(dynamic bool, dur time.Duration) *frameClock {
+// newFrameClock builds a clock. n is the manager's window length N, which
+// bounds the schedule horizon and hence sizes the pending ring; static
+// clocks track no registrations and allocate no ring.
+func newFrameClock(dynamic bool, dur time.Duration, n int) *frameClock {
 	c := &frameClock{
 		dynamic: dynamic,
 		epoch:   time.Now(),
-		pending: make(map[int64]int64),
+	}
+	if dynamic {
+		size := ringSlots(n)
+		c.ring = make([]clockSlot, size)
+		c.ringMask = uint64(size - 1)
+		c.ofMap = make(map[int64]int64)
 	}
 	c.setDur(dur)
 	return c
 }
 
 // now returns ns since the clock epoch on the monotonic clock.
-func (c *frameClock) now() int64 { return int64(time.Since(c.epoch)) }
+func (c *frameClock) now() int64 {
+	if c.nowFn != nil {
+		return c.nowFn()
+	}
+	return int64(time.Since(c.epoch))
+}
 
 // setDur updates the frame duration (called as τ̂ is recalibrated).
 func (c *frameClock) setDur(d time.Duration) {
@@ -58,137 +153,259 @@ func (c *frameClock) setDur(d time.Duration) {
 	c.dur.Store(int64(d))
 }
 
-// deadline returns the time-driven end of the current frame.
-func (c *frameClock) deadline() int64 {
+// effDur is the time allowance of one frame: the calibrated duration, or
+// expandFactor times it in dynamic mode (bounded expansion).
+func (c *frameClock) effDur() int64 {
 	d := c.dur.Load()
 	if c.dynamic {
 		d *= expandFactor
 	}
-	return c.started.Load() + d
+	return d
 }
+
+// cur reads the current frame from the packed state word.
+func (c *frameClock) cur() int64 { return int64(c.state.Load() >> 1) }
 
 // Current returns the current frame index, advancing the clock first if
-// the current frame's time allowance has run out.
+// the current frame's time allowance has run out. Readers never queue: if
+// another caller is mid-advance, Current returns the latest published
+// frame immediately.
 func (c *frameClock) Current() int64 {
-	if c.now() < c.deadline() {
-		return c.cur.Load()
+	if c.now() >= c.started.Load()+c.effDur() {
+		c.advance(false)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.advanceByTimeLocked()
-	return c.cur.Load()
+	return c.cur()
 }
 
-// advanceByTimeLocked catches the frame counter up with elapsed time: one
-// frame per allowance, computed in one step so an idle clock costs O(1).
-func (c *frameClock) advanceByTimeLocked() {
-	d := c.dur.Load()
-	if c.dynamic {
-		d *= expandFactor
+// advance moves the clock forward; it is the only mutator of the state
+// word. drain=false is the time-driven path and is best-effort — if the
+// advancing bit is already held, the holder is doing the work and the
+// caller just reads the result. drain=true is a contraction request (the
+// caller drained the current frame's pending count) and must not be lost:
+// it is parked in advReq before the bit is tried, and whoever holds the
+// bit re-checks advReq after releasing it, so exactly one of the two
+// performs the advance (the Dekker-style store/load pairs below are
+// seq-cst, which rules out both sides missing each other).
+func (c *frameClock) advance(drain bool) {
+	for {
+		if drain {
+			c.advReq.Store(1)
+		}
+		s := c.state.Load()
+		if s&1 != 0 {
+			return // an advance is in flight; any drain request is parked
+		}
+		if !c.state.CompareAndSwap(s, s|1) {
+			c.stats.casRetries.Add(1)
+			continue
+		}
+		// The Swap must run unconditionally (no short-circuit): it consumes
+		// our own parked request along with any a concurrent drainer left.
+		parked := c.advReq.Swap(0) != 0
+		drained := drain || parked
+		next := c.advanceHeld(int64(s>>1), drained)
+		c.state.Store(uint64(next) << 1) // publish + release in one store
+		if c.advReq.Load() == 0 {
+			return
+		}
+		drain = false // the parked request is latched; loop to serve it
 	}
+}
+
+// advanceHeld computes the next frame while the advancing bit is held:
+// first the time-driven catch-up (one frame per allowance, computed in one
+// step so an idle clock costs O(1)), then — dynamic mode — the drain-driven
+// contraction step and the skip over registered-empty frames, which never
+// passes the last registered frame (there is nothing to run up ahead, so
+// the clock idles there instead of spinning forward).
+func (c *frameClock) advanceHeld(cur int64, drained bool) int64 {
+	d := c.effDur()
 	start := c.started.Load()
-	elapsed := c.now() - start
-	if elapsed < d {
-		return
+	t := c.now()
+	next := cur
+	moved := false
+	if el := t - start; el >= d {
+		steps := el / d
+		next += steps
+		start += steps * d
+		moved = true
+		if c.dynamic {
+			c.stats.expansions.Add(steps)
+		}
 	}
-	steps := elapsed / d
-	c.cur.Store(c.cur.Load() + steps)
-	c.started.Store(start + steps*d)
 	if c.dynamic {
-		c.skipEmptyLocked()
+		if !moved && drained && c.pendingAt(next) == 0 {
+			next++ // contraction: the drained frame ends now
+			start = t
+			moved = true
+			c.stats.contractions.Add(1)
+		}
+		if moved {
+			if sk := c.skipEmpty(next); sk != next {
+				next = sk
+				start = t
+			}
+		}
 	}
+	if moved {
+		c.started.Store(start)
+	}
+	return next
 }
 
-// stepLocked advances to the next frame after a contraction event and, in
-// dynamic mode, keeps contracting over frames that have nothing to run.
-func (c *frameClock) stepLocked() {
-	c.cur.Store(c.cur.Load() + 1)
-	c.started.Store(c.now())
-	if c.dynamic {
-		c.skipEmptyLocked()
+// skipEmpty returns the first frame in [from, maxReg] with pending
+// registrations, or maxReg if none (never beyond the last registered
+// frame). The overflow map is consulted under its mutex only while it
+// actually holds registrations.
+func (c *frameClock) skipEmpty(from int64) int64 {
+	max := c.maxReg.Load()
+	cur := from
+	if c.ofPending.Load() > 0 {
+		c.ofMu.Lock()
+		for cur < max && c.ringPending(cur)+c.ofMap[cur] == 0 {
+			cur++
+		}
+		c.ofMu.Unlock()
+		return cur
 	}
-}
-
-// skipEmptyLocked contracts the current frame past registered-empty frames,
-// but never beyond the last registered frame (there is nothing to run up
-// ahead, so the clock idles there instead of spinning forward).
-func (c *frameClock) skipEmptyLocked() {
-	cur := c.cur.Load()
-	for cur < c.maxReg && c.pending[cur] == 0 {
+	for cur < max && c.ringPending(cur) == 0 {
 		cur++
 	}
-	if cur != c.cur.Load() {
-		c.cur.Store(cur)
-		c.started.Store(c.now())
+	return cur
+}
+
+// ringPending reads frame f's pending count from its ring slot (zero when
+// the slot is tagged for a different frame).
+func (c *frameClock) ringPending(f int64) int64 {
+	tag, cnt := unpackSlot(c.ring[uint64(f)&c.ringMask].w.Load())
+	if tag != f {
+		return 0
 	}
+	return cnt
+}
+
+// pendingAt reads frame f's total pending count: ring slot plus, only
+// while any exist, overflow registrations.
+func (c *frameClock) pendingAt(f int64) int64 {
+	n := c.ringPending(f)
+	if c.ofPending.Load() > 0 {
+		c.ofMu.Lock()
+		n += c.ofMap[f]
+		c.ofMu.Unlock()
+	}
+	return n
 }
 
 // register adds one scheduled transaction to frame f (dynamic bookkeeping;
-// a no-op in static mode to keep the hot path lock-free).
+// a no-op in static mode to keep the hot path lock-free). The fast path is
+// one CAS on f's ring slot; a slot held by another pending frame, a count
+// at saturation, or a tag past the packable range diverts to the overflow
+// map.
 func (c *frameClock) register(f int64) {
 	if !c.dynamic {
 		return
 	}
-	c.mu.Lock()
-	c.pending[f]++
-	if f > c.maxReg {
-		c.maxReg = f
+	if f >= 0 && f <= slotTagMax {
+		slot := &c.ring[uint64(f)&c.ringMask]
+		for {
+			w := slot.w.Load()
+			tag, cnt := unpackSlot(w)
+			if (tag != f && cnt != 0) || cnt >= slotCountMask {
+				break // slot busy with a live foreign frame: overflow
+			}
+			if slot.w.CompareAndSwap(w, packSlot(f, cnt+1)) {
+				c.registered(f)
+				return
+			}
+			c.stats.casRetries.Add(1)
+		}
 	}
-	c.mu.Unlock()
+	c.stats.ringOverflows.Add(1)
+	c.ofMu.Lock()
+	c.ofMap[f]++
+	c.ofMu.Unlock()
+	c.ofPending.Add(1)
+	c.registered(f)
+}
+
+// registered folds one new registration of frame f into the aggregate
+// counters occupancy() reads and the skip bound.
+func (c *frameClock) registered(f int64) {
+	c.totalPending.Add(1)
+	for {
+		m := c.maxReg.Load()
+		if f <= m || c.maxReg.CompareAndSwap(m, f) {
+			return
+		}
+	}
 }
 
 // unregister removes a scheduled transaction from frame f without running
 // it (adaptive re-randomization moves schedules around). It may trigger a
 // contraction if f is the current frame.
-func (c *frameClock) unregister(f int64) {
-	if !c.dynamic {
-		return
-	}
-	c.mu.Lock()
-	c.decLocked(f)
-	c.mu.Unlock()
-}
+func (c *frameClock) unregister(f int64) { c.dec(f) }
 
 // commitAt records that a transaction assigned to frame f committed,
 // contracting the current frame if that was the last one.
-func (c *frameClock) commitAt(f int64) {
+func (c *frameClock) commitAt(f int64) { c.dec(f) }
+
+// dec removes one pending registration of frame f — ring slot first, then
+// the overflow map (registrations of one frame can be split between the
+// two; draining ring-first keeps the split balanced). The committer whose
+// decrement empties the current frame requests the contraction advance
+// itself.
+func (c *frameClock) dec(f int64) {
 	if !c.dynamic {
 		return
 	}
-	c.mu.Lock()
-	c.decLocked(f)
-	c.mu.Unlock()
+	slot := &c.ring[uint64(f)&c.ringMask]
+	for {
+		w := slot.w.Load()
+		tag, cnt := unpackSlot(w)
+		if tag != f || cnt == 0 {
+			c.decOverflow(f)
+			return
+		}
+		if slot.w.CompareAndSwap(w, packSlot(f, cnt-1)) {
+			c.totalPending.Add(-1)
+			if cnt == 1 && f == c.cur() {
+				c.advance(true)
+			}
+			return
+		}
+		c.stats.casRetries.Add(1)
+	}
+}
+
+// decOverflow is dec's slow path for a frame counted in the overflow map.
+func (c *frameClock) decOverflow(f int64) {
+	drained := false
+	c.ofMu.Lock()
+	if n := c.ofMap[f]; n > 0 {
+		if n == 1 {
+			delete(c.ofMap, f)
+			drained = true
+		} else {
+			c.ofMap[f] = n - 1
+		}
+		c.ofPending.Add(-1)
+		c.totalPending.Add(-1)
+	}
+	c.ofMu.Unlock()
+	if drained && f == c.cur() {
+		c.advance(true)
+	}
 }
 
 // occupancy reports the dynamic clock's live scheduling state: how many
 // not-yet-committed transactions are registered in the current frame and
 // across all frames. Static clocks track no registrations and report
-// zeros. Safe to call from any goroutine (telemetry gauges sample it).
+// zeros. Two atomic loads on the common path (three while the overflow map
+// is in use); safe from any goroutine — telemetry gauges sample it mid-run
+// without stalling committers.
 func (c *frameClock) occupancy() (curPending, totalPending int64) {
 	if !c.dynamic {
 		return 0, 0
 	}
-	cur := c.cur.Load()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for f, n := range c.pending {
-		totalPending += n
-		if f == cur {
-			curPending = n
-		}
-	}
-	return curPending, totalPending
-}
-
-// decLocked decrements pending[f] and contracts if the current frame
-// drained. Callers hold c.mu.
-func (c *frameClock) decLocked(f int64) {
-	if n := c.pending[f]; n > 1 {
-		c.pending[f] = n - 1
-	} else {
-		delete(c.pending, f)
-	}
-	if f == c.cur.Load() && c.pending[f] == 0 {
-		c.stepLocked()
-	}
+	return c.pendingAt(c.cur()), c.totalPending.Load()
 }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/rng"
+)
+
+// jump force-advances the clock by n frames regardless of pending state
+// (test helper: simulates a clock that ran far ahead of a schedule).
+func (c *frameClock) jump(n int64) {
+	for {
+		s := c.state.Load()
+		if s&1 != 0 {
+			continue // an advance is in flight; retry
+		}
+		if c.state.CompareAndSwap(s, s+uint64(n)<<1) {
+			c.started.Store(c.now())
+			return
+		}
+	}
+}
+
+// refFrameClock is the pre-ISSUE-4 mutex-era clock, kept verbatim (minus
+// the mutex — the property test drives it single-threaded) as the
+// executable specification the lock-free ring clock must agree with.
+type refFrameClock struct {
+	dynamic bool
+	nowFn   func() int64
+	dur     int64
+	cur     int64
+	started int64
+	pending map[int64]int64
+	maxReg  int64
+}
+
+func newRefFrameClock(dynamic bool, dur time.Duration, nowFn func() int64) *refFrameClock {
+	c := &refFrameClock{dynamic: dynamic, nowFn: nowFn, pending: map[int64]int64{}}
+	c.setDur(dur)
+	return c
+}
+
+func (c *refFrameClock) setDur(d time.Duration) {
+	if d < minFrameDur {
+		d = minFrameDur
+	}
+	c.dur = int64(d)
+}
+
+func (c *refFrameClock) effDur() int64 {
+	if c.dynamic {
+		return c.dur * expandFactor
+	}
+	return c.dur
+}
+
+func (c *refFrameClock) Current() int64 {
+	d := c.effDur()
+	elapsed := c.nowFn() - c.started
+	if elapsed < d {
+		return c.cur
+	}
+	steps := elapsed / d
+	c.cur += steps
+	c.started += steps * d
+	if c.dynamic {
+		c.skipEmpty()
+	}
+	return c.cur
+}
+
+func (c *refFrameClock) skipEmpty() {
+	cur := c.cur
+	for cur < c.maxReg && c.pending[cur] == 0 {
+		cur++
+	}
+	if cur != c.cur {
+		c.cur = cur
+		c.started = c.nowFn()
+	}
+}
+
+func (c *refFrameClock) register(f int64) {
+	if !c.dynamic {
+		return
+	}
+	c.pending[f]++
+	if f > c.maxReg {
+		c.maxReg = f
+	}
+}
+
+func (c *refFrameClock) dec(f int64) {
+	if !c.dynamic {
+		return
+	}
+	if n := c.pending[f]; n > 1 {
+		c.pending[f] = n - 1
+	} else {
+		delete(c.pending, f)
+	}
+	if f == c.cur && c.pending[f] == 0 {
+		c.cur++
+		c.started = c.nowFn()
+		c.skipEmpty()
+	}
+}
+
+func (c *refFrameClock) occupancy() (curPending, totalPending int64) {
+	for f, n := range c.pending {
+		totalPending += n
+		if f == c.cur {
+			curPending = n
+		}
+	}
+	return curPending, totalPending
+}
+
+// TestFrameClockMatchesReferenceModel drives the ring clock and the
+// mutex-era reference model in lockstep over randomized schedules on a
+// deterministic fake clock: register/commit/unregister/time-jump/
+// recalibrate sequences must leave both with the same current frame and
+// occupancy after every step. Frames span several ring lengths, so the
+// overflow fallback is part of the checked behaviour, and commits retire
+// both in-order prefixes (the manager's pattern) and random outstanding
+// registrations (adaptive restarts).
+func TestFrameClockMatchesReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		var fake int64
+		now := func() int64 { return fake }
+
+		c := newFrameClock(true, 100*time.Microsecond, 4)
+		c.nowFn = now
+		ref := newRefFrameClock(true, 100*time.Microsecond, now)
+
+		span := int64(len(c.ring)) * 2 // collide: exercise the overflow path
+		var outstanding []int64
+		check := func(step int, op string) {
+			t.Helper()
+			if g, w := c.cur(), ref.cur; g != w {
+				t.Fatalf("seed %d step %d (%s): cur = %d, reference = %d", seed, step, op, g, w)
+			}
+			gc, gt := c.occupancy()
+			wc, wt := ref.occupancy()
+			if gc != wc || gt != wt {
+				t.Fatalf("seed %d step %d (%s): occupancy = (%d,%d), reference = (%d,%d)",
+					seed, step, op, gc, gt, wc, wt)
+			}
+		}
+
+		for step := 0; step < 3000; step++ {
+			// Keep both models' time catch-up aligned before mutating: the
+			// manager does the same (Committed reads Current() first), and
+			// it pins down which of the two legitimate linearizations —
+			// time-advance-then-contract vs contract — both take.
+			if a, b := c.Current(), ref.Current(); a != b {
+				t.Fatalf("seed %d step %d: Current() = %d, reference = %d", seed, step, a, b)
+			}
+			switch op := r.Intn(10); {
+			case op < 4: // register a frame near or far from cur
+				f := ref.cur + int64(r.Intn(int(span)))
+				c.register(f)
+				ref.register(f)
+				outstanding = append(outstanding, f)
+				check(step, "register")
+			case op < 7 && len(outstanding) > 0: // commit an outstanding registration
+				i := r.Intn(len(outstanding))
+				f := outstanding[i]
+				outstanding[i] = outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				c.commitAt(f)
+				ref.dec(f)
+				check(step, "commit")
+			case op < 8 && len(outstanding) > 0: // unregister (adaptive restart)
+				i := r.Intn(len(outstanding))
+				f := outstanding[i]
+				outstanding[i] = outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				c.unregister(f)
+				ref.dec(f)
+				check(step, "unregister")
+			case op < 9: // time passes (possibly several frames' worth)
+				fake += int64(r.Intn(500)) * int64(time.Microsecond)
+				check(step, "time")
+			default: // τ̂ recalibration
+				d := time.Duration(1+r.Intn(300)) * time.Microsecond
+				c.setDur(d)
+				ref.setDur(d)
+				check(step, "setDur")
+			}
+		}
+		if c.stats.ringOverflows.Load() == 0 {
+			t.Errorf("seed %d: schedule never exercised the ring-overflow fallback", seed)
+		}
+	}
+}
+
+// TestFrameClockRingOverflow pins the fallback behaviour down
+// deterministically: two pending frames one ring length apart share a
+// slot; the second must divert to the overflow map (counted in stats),
+// occupancy must see both, and draining must still contract past them.
+func TestFrameClockRingOverflow(t *testing.T) {
+	c := newFrameClock(true, time.Hour, 4)
+	ringLen := int64(len(c.ring))
+
+	c.register(0)
+	c.register(ringLen) // same slot, frame 0 still pending → overflow
+	if got := c.stats.ringOverflows.Load(); got != 1 {
+		t.Fatalf("ring overflows = %d, want 1", got)
+	}
+	if got := c.ofPending.Load(); got != 1 {
+		t.Fatalf("overflow pending = %d, want 1", got)
+	}
+	if cur, total := c.occupancy(); cur != 1 || total != 2 {
+		t.Fatalf("occupancy = (%d,%d), want (1,2)", cur, total)
+	}
+	if got := c.pendingAt(ringLen); got != 1 {
+		t.Fatalf("pendingAt(overflowed frame) = %d, want 1", got)
+	}
+
+	// Draining frame 0 contracts; the overflowed far frame bounds the skip.
+	c.commitAt(0)
+	if got := c.Current(); got != ringLen {
+		t.Fatalf("after draining frame 0: cur = %d, want %d (skip to overflowed frame)", got, ringLen)
+	}
+	c.commitAt(ringLen)
+	if _, total := c.occupancy(); total != 0 {
+		t.Fatalf("pending = %d after draining everything", total)
+	}
+	if got := c.ofPending.Load(); got != 0 {
+		t.Fatalf("overflow pending = %d after drain", got)
+	}
+
+	// A freed slot is recycled: the far frame can now take the ring path.
+	c.register(ringLen + 1)
+	if got := c.stats.ringOverflows.Load(); got != 1 {
+		t.Fatalf("freed slot not recycled: overflows = %d, want still 1", got)
+	}
+	c.commitAt(ringLen + 1)
+}
+
+// TestFrameClockHotPathAllocationFree: register, commitAt (including the
+// contraction advance it triggers) and Current must not allocate.
+func TestFrameClockHotPathAllocationFree(t *testing.T) {
+	c := newFrameClock(true, time.Hour, 50)
+	if n := testing.AllocsPerRun(1000, func() {
+		f := c.Current()
+		c.register(f)
+		c.commitAt(f) // drains the current frame → contraction advance
+	}); n != 0 {
+		t.Errorf("register/commitAt/Current cycle allocates %v times per op", n)
+	}
+	s := newFrameClock(false, time.Microsecond, 50)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Current() // expired deadline → time-driven advance path
+	}); n != 0 {
+		t.Errorf("static Current allocates %v times per op", n)
+	}
+}

@@ -10,7 +10,7 @@ import (
 // goroutines mixing registration, commits and reads; the clock must never
 // go backwards and must end with empty pending state.
 func TestFrameClockConcurrentAccess(t *testing.T) {
-	c := newFrameClock(true, 200*time.Microsecond)
+	c := newFrameClock(true, 200*time.Microsecond, 8)
 	const workers, perWorker = 8, 300
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -32,19 +32,70 @@ func TestFrameClockConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for f, n := range c.pending {
-		if n != 0 {
-			t.Errorf("pending[%d] = %d after balanced register/commit", f, n)
-		}
+	if _, total := c.occupancy(); total != 0 {
+		t.Errorf("pending = %d after balanced register/commit", total)
+	}
+}
+
+// TestFrameClockContractionExpansionRace is the ISSUE 4 stress cell: 32
+// goroutines drive contraction (register+drain at the current frame),
+// expansion (a tiny frame duration forces time-driven advances), overflow
+// registrations (far frames that collide in the ring), and unregistration
+// concurrently. Run under -race. The clock must stay monotonic, drain to
+// zero pending, and keep the overflow bookkeeping balanced.
+func TestFrameClockContractionExpansionRace(t *testing.T) {
+	c := newFrameClock(true, 50*time.Microsecond, 4) // small ring: collisions likely
+	const workers, perWorker = 32, 200
+	span := int64(len(c.ring)) // one ring length: same slot, different frame
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			last := int64(0)
+			for i := 0; i < perWorker; i++ {
+				f := c.Current()
+				if f < last {
+					t.Errorf("clock went backwards: %d after %d", f, last)
+					return
+				}
+				last = f
+				switch i % 4 {
+				case 0: // drain the current frame: contraction
+					c.register(f)
+					c.commitAt(f)
+				case 1: // near-future frame
+					c.register(f + int64(w%5))
+					c.commitAt(f + int64(w%5))
+				case 2: // two live frames one ring length apart share a
+					// slot: the second register must take the overflow path
+					c.register(f)
+					c.register(f + span)
+					c.commitAt(f + span)
+					c.commitAt(f)
+				default: // adaptive re-randomization: register then move away
+					c.register(f + 1)
+					c.unregister(f + 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, total := c.occupancy(); total != 0 {
+		t.Errorf("pending = %d after balanced register/retire", total)
+	}
+	if of := c.ofPending.Load(); of != 0 {
+		t.Errorf("overflow pending = %d after drain", of)
+	}
+	if c.stats.ringOverflows.Load() == 0 {
+		t.Error("far registrations never exercised the overflow path")
 	}
 }
 
 // TestFrameClockMonotonicUnderContraction: commit-driven advances and
 // time-driven advances interleave without the counter regressing.
 func TestFrameClockMonotonicUnderContraction(t *testing.T) {
-	c := newFrameClock(true, time.Millisecond)
+	c := newFrameClock(true, time.Millisecond, 8)
 	last := int64(0)
 	for i := 0; i < 200; i++ {
 		f := c.Current()
@@ -54,5 +105,34 @@ func TestFrameClockMonotonicUnderContraction(t *testing.T) {
 		last = f
 		c.register(f)
 		c.commitAt(f) // drain current frame → contraction
+	}
+}
+
+// TestFrameClockStaticAdvanceSingleWinner: in static mode the deadline
+// path is the packed-word CAS too — concurrent readers past the deadline
+// must all observe an advance without queuing or regressing.
+func TestFrameClockStaticAdvanceSingleWinner(t *testing.T) {
+	c := newFrameClock(false, 100*time.Microsecond, 1)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := int64(0)
+			for i := 0; i < 500; i++ {
+				f := c.Current()
+				if f < last {
+					t.Errorf("static clock regressed: %d after %d", f, last)
+					return
+				}
+				last = f
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Microsecond)
+	if c.Current() == 0 {
+		t.Error("static clock never advanced past frame 0")
 	}
 }

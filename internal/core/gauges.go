@@ -67,5 +67,13 @@ func (m *Manager) TelemetryGauges() []telemetry.Gauge {
 			func() float64 { return float64(m.fallbacks.Load()) }),
 		telemetry.NewGauge("wincm_window_priority_collisions", "conflicts whose priority vectors tied (ID tie-break decided)",
 			func() float64 { return float64(m.collisions.Load()) }),
+		telemetry.NewGauge("wincm_frameclock_cas_retries_total", "frame-clock CAS retries (state word and ring slots)",
+			func() float64 { return float64(m.clock.stats.casRetries.Load()) }),
+		telemetry.NewGauge("wincm_frameclock_ring_overflows_total", "frame registrations diverted to the clock's overflow map",
+			func() float64 { return float64(m.clock.stats.ringOverflows.Load()) }),
+		telemetry.NewGauge("wincm_frameclock_contractions_total", "drain-driven frame advances (dynamic contraction)",
+			func() float64 { return float64(m.clock.stats.contractions.Load()) }),
+		telemetry.NewGauge("wincm_frameclock_expansions_total", "time-driven frame advances (dynamic expansion)",
+			func() float64 { return float64(m.clock.stats.expansions.Load()) }),
 	}
 }

@@ -37,6 +37,10 @@ func TestTelemetryGaugesQuiescent(t *testing.T) {
 		"wincm_window_alpha_max", "wincm_window_commits",
 		"wincm_window_bad_events", "wincm_window_fallback_commits",
 		"wincm_window_priority_collisions",
+		"wincm_frameclock_cas_retries_total",
+		"wincm_frameclock_ring_overflows_total",
+		"wincm_frameclock_contractions_total",
+		"wincm_frameclock_expansions_total",
 	} {
 		g, ok := gs[name]
 		if !ok {

@@ -32,14 +32,21 @@ type threadState struct {
 	rng *rng.Rand
 	est estimator
 
-	inWindow   bool    // a window segment is in progress
-	startSeq   int     // Seq of the segment's first transaction
-	remaining  int     // transactions left in the segment (≤ N)
-	baseFrame  int64   // clock frame when the segment started
-	q          int64   // the segment's random initial delay, in frames
-	assigned   int64   // absolute assigned frame of the current transaction
-	registered []int64 // frames registered with the clock, for unregistering
-	badEvents  int     // diagnostics: bad events seen by this thread
+	inWindow  bool  // a window segment is in progress
+	startSeq  int   // Seq of the segment's first transaction
+	remaining int   // transactions left in the segment (≤ N)
+	baseFrame int64 // clock frame when the segment started
+	q         int64 // the segment's random initial delay, in frames
+	assigned  int64 // absolute assigned frame of the current transaction
+	badEvents int   // diagnostics: bad events seen by this thread
+
+	// The segment's clock registrations are the consecutive frames
+	// [regNext, regEnd): openSegment registers [base+q, base+q+n) and
+	// commits retire frames in order (the j-th transaction is assigned
+	// base+q+j), so the not-yet-retired remainder is always a suffix of
+	// the range. Two ints replace the per-thread frame slice (and its
+	// linear dropRegistered scan) the mutex-era clock needed.
+	regNext, regEnd int64
 
 	// cPub mirrors est.value() as float bits so telemetry gauges can read
 	// the contention estimate from any goroutine; only the owner thread
@@ -56,10 +63,10 @@ func (st *threadState) publishC() {
 // stm.ContentionManager for every STM-runnable variant; the Config decides
 // which member of the family it behaves as.
 type Manager struct {
-	cfg      Config
-	patience int
-	clock    *frameClock
-	threads  []*threadState
+	cfg        Config
+	patience   int
+	clock      *frameClock
+	threads    []*threadState
 	tauNs      atomic.Int64 // EWMA of committed-attempt durations
 	commits    atomic.Int64
 	bads       atomic.Int64 // total bad events (transactions missing frames)
@@ -82,7 +89,7 @@ func NewManager(cfg Config) *Manager {
 	}
 	m := &Manager{
 		cfg:   cfg,
-		clock: newFrameClock(cfg.Dynamic, tauGuess), // recalibrated below
+		clock: newFrameClock(cfg.Dynamic, tauGuess, cfg.N), // recalibrated below
 	}
 	switch {
 	case cfg.LoserPatience > 0:
@@ -157,10 +164,9 @@ func (m *Manager) scheduleNext(st *threadState, d *stm.Desc) {
 // schedule with the frame clock.
 func (m *Manager) openSegment(st *threadState, seq, n int) {
 	// Drop any leftover registrations from an abandoned segment.
-	for _, f := range st.registered {
+	for f := st.regNext; f < st.regEnd; f++ {
 		m.clock.unregister(f)
 	}
-	st.registered = st.registered[:0]
 	st.inWindow = true
 	st.startSeq = seq
 	st.remaining = n
@@ -170,10 +176,10 @@ func (m *Manager) openSegment(st *threadState, seq, n int) {
 	} else {
 		st.q = int64(st.rng.Intn(int(alpha(st.est.value(), m.cfg.M, m.cfg.N))))
 	}
-	for j := int64(0); j < int64(n); j++ {
-		f := st.baseFrame + st.q + j
+	st.regNext = st.baseFrame + st.q
+	st.regEnd = st.regNext + int64(n)
+	for f := st.regNext; f < st.regEnd; f++ {
 		m.clock.register(f)
-		st.registered = append(st.registered, f)
 	}
 }
 
@@ -205,17 +211,25 @@ func (m *Manager) Committed(tx *stm.Tx) {
 	d := tx.D
 
 	// τ̂ ← 7/8·τ̂ + 1/8·attempt duration, then recalibrate the frame size.
-	attempt := stm.Now() - d.AttemptStart
-	if attempt > 0 {
-		old := m.tauNs.Load()
-		m.tauNs.Store(old - old/8 + attempt/8)
+	// The read-modify-write is a CAS loop: threads commit concurrently, and
+	// a plain Load-then-Store would drop every sample that raced with
+	// another commit's update.
+	if attempt := stm.Now() - d.AttemptStart; attempt > 0 {
+		for {
+			old := m.tauNs.Load()
+			if m.tauNs.CompareAndSwap(old, old-old/8+attempt/8) {
+				break
+			}
+		}
 		m.clock.setDur(m.frameDur())
 	}
 
 	cur := m.clock.Current()
 	bad := cur > st.assigned
 	m.clock.commitAt(st.assigned)
-	dropRegistered(st, st.assigned)
+	if st.assigned >= st.regNext && st.assigned < st.regEnd {
+		st.regNext = st.assigned + 1
+	}
 
 	m.commits.Add(1)
 	st.est.sample(false)
@@ -303,16 +317,4 @@ func (m *Manager) prio(cur int64, d *stm.Desc) uint64 {
 		p |= 1 << 32 // low priority
 	}
 	return p
-}
-
-// dropRegistered removes one occurrence of frame f from st.registered so a
-// later openSegment does not double-unregister it.
-func dropRegistered(st *threadState, f int64) {
-	for i, g := range st.registered {
-		if g == f {
-			st.registered[i] = st.registered[len(st.registered)-1]
-			st.registered = st.registered[:len(st.registered)-1]
-			return
-		}
-	}
 }

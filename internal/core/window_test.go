@@ -64,38 +64,45 @@ func TestOpenSegmentReRegisters(t *testing.T) {
 	m := NewManager(cfg)
 	st := m.threads[0]
 	m.openSegment(st, 0, 5)
-	if len(st.registered) != 5 {
-		t.Fatalf("registered %d frames, want 5", len(st.registered))
+	if got := st.regEnd - st.regNext; got != 5 {
+		t.Fatalf("registered %d frames, want 5", got)
 	}
-	first := append([]int64(nil), st.registered...)
+	first := [2]int64{st.regNext, st.regEnd}
 	m.openSegment(st, 2, 3) // adaptive restart with 3 remaining
-	if len(st.registered) != 3 {
-		t.Fatalf("after restart: registered %d frames, want 3", len(st.registered))
+	if got := st.regEnd - st.regNext; got != 3 {
+		t.Fatalf("after restart: registered %d frames, want 3", got)
 	}
 	// The clock must hold exactly the new frames: draining them advances
 	// past everything (no stale pending from the first registration).
-	total := int64(0)
-	m.clock.mu.Lock()
-	for _, n := range m.clock.pending {
-		total += n
-	}
-	m.clock.mu.Unlock()
-	if total != 3 {
-		t.Fatalf("clock holds %d pending registrations, want 3 (first=%v now=%v)",
-			total, first, st.registered)
+	if _, total := m.clock.occupancy(); total != 3 {
+		t.Fatalf("clock holds %d pending registrations, want 3 (first=%v now=[%d,%d))",
+			total, first, st.regNext, st.regEnd)
 	}
 }
 
-// TestDropRegistered removes exactly one occurrence.
-func TestDropRegistered(t *testing.T) {
-	st := &threadState{registered: []int64{3, 5, 3}}
-	dropRegistered(st, 3)
-	if len(st.registered) != 2 {
-		t.Fatalf("registered = %v", st.registered)
+// TestCommittedAdvancesRegRange: commits retire the registration range as
+// a prefix — regNext tracks the next unretired frame, so an adaptive
+// restart unregisters exactly the not-yet-committed suffix.
+func TestCommittedAdvancesRegRange(t *testing.T) {
+	cfg := DefaultConfig(OnlineDynamic, 1)
+	cfg.N = 4
+	cfg.ZeroDelay = true
+	m := NewManager(cfg)
+	st := m.threads[0]
+	m.openSegment(st, 0, 4)
+	base := st.regNext
+	for j := int64(0); j < 4; j++ {
+		st.assigned = base + j
+		m.clock.commitAt(st.assigned)
+		if st.assigned >= st.regNext && st.assigned < st.regEnd {
+			st.regNext = st.assigned + 1
+		}
+		if st.regNext != base+j+1 {
+			t.Fatalf("after commit %d: regNext = %d, want %d", j, st.regNext, base+j+1)
+		}
 	}
-	dropRegistered(st, 99) // absent: no-op
-	if len(st.registered) != 2 {
-		t.Fatalf("registered = %v after absent drop", st.registered)
+	if _, total := m.clock.occupancy(); total != 0 {
+		t.Fatalf("clock holds %d pending after retiring the whole range", total)
 	}
 }
 
@@ -186,15 +193,11 @@ func TestBadEventTriggersRestart(t *testing.T) {
 	th := rt.Thread(0)
 
 	// First transaction: force the clock far ahead of the assigned frame
-	// by stepping it manually, then commit.
+	// by jumping it manually, then commit.
 	var seen *stm.Tx
 	th.Atomic(func(tx *stm.Tx) {
 		seen = tx
-		m.clock.mu.Lock()
-		for i := 0; i < 10; i++ {
-			m.clock.stepLocked()
-		}
-		m.clock.mu.Unlock()
+		m.clock.jump(10)
 	})
 	_ = seen
 	if m.BadEvents() != 1 {
