@@ -30,7 +30,7 @@ bench:
 # cmd/benchcmp (fails on >10% ns/op regression against bench_baseline.txt).
 # The baseline spans two packages: the data-structure workloads in
 # internal/bench and the frame-clock cells in internal/core.
-BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted'
+BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted|BenchmarkRBTreeParallel/M16$$|BenchmarkVacationParallel/M16$$|BenchmarkWriteHeavyParallel$$|BenchmarkCommittedWrite$$'
 CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M16$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt

@@ -206,6 +206,9 @@ func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *instrument
 				}
 				return 0
 			}))
+		reg.RegisterGauge(telemetry.NewGauge("wincm_locator_retired",
+			"locators retired and awaiting a grace period before reuse",
+			func() float64 { return float64(rt.RetiredLocators()) }))
 		if wd := ins.wd; wd != nil {
 			reg.RegisterGauge(telemetry.NewGauge("wincm_watchdog_trips",
 				"no-progress intervals observed by the watchdog",

@@ -29,6 +29,10 @@ func TestQuickSerializableHistories(t *testing.T) {
 		}
 		rt := stm.New(threads, mgr, opts...)
 		rt.SetYieldEvery(2)
+		// Force recycling on: these runs are oversubscribed on small
+		// machines, and the histories must stay serializable with locators
+		// being reused underneath.
+		rt.SetLocatorPooling(true)
 		vs := make([]*stm.TVar[int], vars)
 		for i := range vs {
 			vs[i] = stm.NewTVar(0)

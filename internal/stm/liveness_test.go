@@ -1,0 +1,88 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// karmaTied mirrors the Karma manager's decision shape without importing
+// the cm package (import cycle): work invested is priority, ties go to the
+// attacker. Under this policy, transactions whose priorities are locked
+// together mutually satisfy "mine >= theirs" and abort each other on every
+// conflict — the kill cycle that allocator jitter used to break by
+// accident before the write path stopped allocating (see abortBackoff).
+type karmaTied struct{}
+
+func (karmaTied) Begin(tx *Tx)     {}
+func (karmaTied) Opened(tx *Tx)    { tx.D.Karma.Add(1) }
+func (karmaTied) Committed(tx *Tx) { tx.D.Karma.Store(0) }
+func (karmaTied) Aborted(tx *Tx)   {}
+func (karmaTied) Resolve(tx, enemy *Tx, kind Kind, attempt int) (Decision, time.Duration) {
+	if dec, wait, ok := FallbackResolve(tx, enemy); ok {
+		return dec, wait
+	}
+	if tx.D.Karma.Load()+int64(attempt-1) >= enemy.D.Karma.Load() {
+		return AbortEnemy, 0
+	}
+	return Wait, time.Microsecond
+}
+
+// TestVisibleKillCycleLiveness regression-tests the abort backoff: with a
+// zero-allocation write path, symmetric read-then-write-all transactions
+// under a tie-goes-to-attacker manager reach equal priorities and abort
+// each other in lockstep forever unless the runtime injects jitter. The
+// grid covers the thread/variable shapes that reproduced the livelock
+// reliably before the backoff existed (threads=3, vars=2 locked up within
+// a handful of configurations).
+func TestVisibleKillCycleLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("liveness soak")
+	}
+	for iter := 0; iter < 60; iter++ {
+		threads := 2 + iter%4
+		vars := 1 + (iter/4)%5
+		rt := New(threads, karmaTied{})
+		rt.SetYieldEvery(2)
+		// The kill cycle only closes when attempts run jitter-free, which
+		// needs the zero-allocation path — keep pooling on regardless of
+		// the machine's core count.
+		rt.SetLocatorPooling(true)
+		vs := make([]*TVar[int], vars)
+		for i := range vs {
+			vs[i] = NewTVar(0)
+		}
+		const perThread = 25
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(th *Thread) {
+				defer wg.Done()
+				for j := 0; j < perThread; j++ {
+					th.Atomic(func(tx *Tx) {
+						base := Read(tx, vs[0])
+						for _, v := range vs[1:] {
+							Read(tx, v)
+						}
+						for _, v := range vs {
+							Write(tx, v, base+1)
+						}
+					})
+				}
+			}(rt.Thread(i))
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("livelock: threads=%d vars=%d never completed", threads, vars)
+		}
+		want := threads * perThread
+		for k, v := range vs {
+			if got := v.Peek(); got != want {
+				t.Fatalf("threads=%d vars=%d var %d: got %d, want %d (lost update)", threads, vars, k, got, want)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@
 package stm
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -162,14 +163,23 @@ type Tx struct {
 	// yieldIn counts down opens until the next SetYieldEvery yield
 	// (owner-thread-only; see maybeYield).
 	yieldIn int64
+	// owner is the Thread whose storage this Tx is; the epoch pin slot
+	// and the locator pools hang off it. Set once at construction.
+	owner *Thread
 	// Hot-path introspection tallies, reset per attempt and folded into
 	// telemetry at attempt end (owner-thread-only, like opens).
-	casRetries   int
-	readerSpills int
-	poolHits     int
-	poolMisses   int
-	writes       []container
-	vreads       []vread
+	casRetries    int
+	readerSpills  int
+	poolHits      int
+	poolMisses    int
+	locPoolHits   int
+	locPoolMisses int
+	epochAdvances int
+	// poolOn caches the runtime's locator-pooling gate for the attempt
+	// (poolOf reads it on every write-path operation).
+	poolOn bool
+	writes []container
+	vreads []vread
 }
 
 // OpenCalls reports how many transactional opens (Read and Write calls)
@@ -198,6 +208,18 @@ func (tx *Tx) ReaderSpills() int { return tx.readerSpills }
 func (tx *Tx) SpillPoolHits() int   { return tx.poolHits }
 func (tx *Tx) SpillPoolMisses() int { return tx.poolMisses }
 
+// LocatorPoolHits reports how many locators this attempt popped from the
+// thread's recycled free lists; LocatorPoolMisses counts the fresh
+// allocations the pool could not cover (pool.go). Owner-thread-only;
+// survive cleanup.
+func (tx *Tx) LocatorPoolHits() int   { return tx.locPoolHits }
+func (tx *Tx) LocatorPoolMisses() int { return tx.locPoolMisses }
+
+// EpochAdvances reports how many times this attempt ticked the global
+// reclamation epoch while sealing retire batches. Owner-thread-only;
+// survives cleanup.
+func (tx *Tx) EpochAdvances() int { return tx.epochAdvances }
+
 // Status returns the current status of this attempt.
 func (tx *Tx) Status() Status { return StatusOf(tx.status.Load()) }
 
@@ -222,6 +244,15 @@ func (tx *Tx) beginAttempt() {
 	tx.opens, tx.acquires = 0, 0
 	tx.casRetries, tx.readerSpills = 0, 0
 	tx.poolHits, tx.poolMisses = 0, 0
+	tx.locPoolHits, tx.locPoolMisses, tx.epochAdvances = 0, 0, 0
+	tx.poolOn = tx.rt.locPooling.Load()
+	// Announce the attempt in the reclamation epoch before its first
+	// locator load (epoch.go); cleanup clears the pin. Without pooling
+	// nothing is ever retired, so the pin pair (two seq-cst stores) is
+	// skipped — the reason SetLocatorPooling is construction-time-only.
+	if tx.poolOn {
+		tx.pin()
+	}
 }
 
 // Abort aborts tx's current attempt if it is still active. It is safe to
@@ -262,6 +293,12 @@ type Runtime struct {
 	yieldEvery atomic.Int64
 	invisible  bool
 
+	// epochSlots holds one padded reclamation pin slot per thread
+	// (epoch.go), the same shape as the reader spill table.
+	epochSlots []paddedUint64
+	// locPooling gates locator recycling (see SetLocatorPooling).
+	locPooling atomic.Bool
+
 	// probe is the optional fault-injection layer (see probe.go).
 	probe Probe
 	// openProbe is probe unless it declared NoOpenHooks, in which case it
@@ -292,16 +329,24 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 		rt.openProbe = rt.probe
 	}
 	rt.threads = make([]*Thread, m)
+	rt.epochSlots = make([]paddedUint64, m)
 	for i := range rt.threads {
 		t := &Thread{rt: rt, id: i, boState: uint64(i)*0x9E3779B97F4A7C15 + 1}
 		t.desc.ThreadID = i
 		t.tx.D = &t.desc
 		t.tx.rt = rt
+		t.tx.owner = t
 		// Park the reusable attempt in a terminated state so nothing
 		// mistakes an idle thread for an active enemy.
 		t.tx.status.Store(uint64(Aborted))
 		rt.threads[i] = t
 	}
+	// Locator recycling pays off only when every thread can stay
+	// scheduled: an oversubscribed box parks attempts mid-flight with
+	// their epoch pins held, grace almost never passes, and the pools
+	// would add bookkeeping without recycling anything. Default the gate
+	// to "threads fit the machine"; SetLocatorPooling overrides it.
+	rt.locPooling.Store(m <= runtime.GOMAXPROCS(0))
 	return rt
 }
 
@@ -326,6 +371,15 @@ func (rt *Runtime) Manager() ContentionManager { return rt.cm }
 // scheduler preemption quanta and conflicts all but disappear.
 func (rt *Runtime) SetYieldEvery(k int) { rt.yieldEvery.Store(int64(k)) }
 
+// SetLocatorPooling overrides the locator-recycling gate that New derives
+// from the machine (pooling on only when the thread count fits GOMAXPROCS;
+// see pool.go). Tests force it on to exercise reclamation under deliberate
+// oversubscription; an operator can force it off to rule the pools out.
+// It must be called before the runtime executes transactions: threads only
+// maintain their reclamation pins while the gate is on, so flipping it
+// mid-run could reclaim a locator out from under an unpinned attempt.
+func (rt *Runtime) SetLocatorPooling(on bool) { rt.locPooling.Store(on) }
+
 // Commits returns the number of transactions committed runtime-wide. The
 // count is sharded per thread (each thread bumps only its own padded
 // counter), so the commit hot path never bounces a shared cache line.
@@ -333,6 +387,17 @@ func (rt *Runtime) Commits() int64 {
 	var sum int64
 	for _, t := range rt.threads {
 		sum += t.commits.Load()
+	}
+	return sum
+}
+
+// RetiredLocators reports how many displaced locators currently await
+// their grace period across all threads' retire lists (the telemetry
+// retire-length gauge reads this; see pool.go).
+func (rt *Runtime) RetiredLocators() int64 {
+	var sum int64
+	for _, t := range rt.threads {
+		sum += t.retiredLocs.Load()
 	}
 	return sum
 }
@@ -357,6 +422,12 @@ type Thread struct {
 	commits atomic.Int64
 	// boState is the xorshift state of the invisible-read retry backoff.
 	boState uint64
+	// retiredLocs counts this thread's retired-but-unreclaimed locators
+	// across all its typed pools (shard of Runtime.RetiredLocators).
+	retiredLocs atomic.Int64
+	// pools holds the thread's typed locator recyclers, indexed by the
+	// global locator type id (pool.go). Owner-thread-only.
+	pools []any
 
 	// desc and tx are the reusable descriptor and attempt (see Desc and
 	// Tx for the reuse rules).
@@ -456,12 +527,23 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		if p := rt.probe; p != nil {
 			p.OnAbort(tx)
 		}
-		// Invisible readers conflict only at validation time, where both
-		// sides self-abort with no contention-manager mediation; symmetric
-		// retries on few cores can repeat that cycle indefinitely. A
-		// randomized, attempt-scaled pause desynchronizes them.
-		if rt.invisible && rt.fallback.Load() != d {
-			t.invisibleBackoff(d.Attempts)
+		// Symmetric retry cycles need external jitter to break. Invisible
+		// readers conflict only at validation time, where both sides
+		// self-abort with no contention-manager mediation, so they get a
+		// randomized, attempt-scaled pause from the second attempt on.
+		// Visible-mode transactions used to be desynchronized for free by
+		// the write path's allocations (and the GC pauses they caused);
+		// with the locator pool (pool.go) the committed path allocates
+		// nothing, and priority-tied transactions really do abort each
+		// other in lockstep indefinitely. The same randomized pause breaks
+		// that cycle, gated behind an attempt budget so ordinary conflict
+		// handling never pays it.
+		if rt.fallback.Load() != d {
+			if rt.invisible {
+				t.abortBackoff(d.Attempts)
+			} else if d.Attempts > visibleBackoffAfter {
+				t.abortBackoff(d.Attempts - visibleBackoffAfter)
+			}
 		}
 		// Starvation escape hatch: once the budgets are exhausted, take
 		// the serialized-fallback token so the next attempt wins every
@@ -473,11 +555,18 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 	}
 }
 
-// invisibleBackoff sleeps for a random span in [0, 1µs << min(attempts-1,
+// visibleBackoffAfter is how many consecutive aborts a visible-mode
+// transaction burns before abortBackoff engages. Most conflicts resolve
+// within a handful of attempts even under heavy contention; a transaction
+// past this budget is in a kill cycle, not a queue.
+const visibleBackoffAfter = 8
+
+// abortBackoff sleeps for a random span in [0, 1µs << min(attempts-1,
 // 6)) drawn from the thread's private xorshift stream — long enough to
-// break retry lockstep between symmetric invisible-read transactions,
-// short enough to be invisible next to an aborted attempt's wasted work.
-func (t *Thread) invisibleBackoff(attempts int) {
+// break retry lockstep between symmetric transactions that keep aborting
+// each other, short enough to be invisible next to an aborted attempt's
+// wasted work.
+func (t *Thread) abortBackoff(attempts int) {
 	const (
 		base   = time.Microsecond
 		maxExp = 6
@@ -547,6 +636,13 @@ func (tx *Tx) cleanup() {
 	}
 	tx.writes = tx.writes[:0]
 	tx.vreads = tx.vreads[:0]
+	// The attempt holds no locator references past this point; drop the
+	// reclamation pin so retired locators can recycle (epoch.go).
+	// tx.poolOn is the value cached at beginAttempt, so the pair always
+	// matches even if the gate were flipped mid-attempt.
+	if tx.poolOn {
+		tx.unpin()
+	}
 }
 
 // selfAbort marks the attempt aborted and unwinds the callback.

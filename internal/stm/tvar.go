@@ -72,10 +72,13 @@ func settledView[T any](loc *locator[T], st Status) (T, uint64) {
 //
 // The representation is lock-free: loc is the word-based ownership record
 // (see locator) and readers is the sharded visible-reader table (see
-// readerset.go). There is no per-variable mutex anywhere.
+// readerset.go). There is no per-variable mutex anywhere. pid caches the
+// global id of T's locator pool so the write path finds the calling
+// thread's recycler with one load (pool.go).
 type TVar[T any] struct {
 	loc     atomic.Pointer[locator[T]]
 	readers readerSet
+	pid     atomic.Int32
 }
 
 // NewTVar returns a variable initialized to v. The zero TVar holds the
@@ -112,8 +115,12 @@ func ownerView[T any](loc *locator[T]) (word uint64, ok bool) {
 
 // Peek returns the current committed value without a transaction. It is
 // linearizable on its own but provides no consistency across multiple
-// Peeks; tests and verification code use it between runs.
+// Peeks; tests and verification code use it between runs. Running outside
+// any attempt, it holds an external reclamation pin (epoch.go) so the
+// locator it inspects cannot be recycled underneath it.
 func (v *TVar[T]) Peek() T {
+	s := extPin()
+	defer extUnpin(s)
 	for {
 		loc := v.load()
 		if loc.owner == nil {
@@ -134,6 +141,13 @@ func (v *TVar[T]) Peek() T {
 // concurrent transactional write of the same variable may be overwritten
 // (last CAS wins).
 func (v *TVar[T]) Set(val T) {
+	s := extPin()
+	defer extUnpin(s)
+	// One locator per call, reused across CAS retries; only its version
+	// can differ between iterations, and it is unpublished until the CAS
+	// lands. The displaced locator is left to the GC — Set runs on no
+	// runtime thread, so it has no retire list (pool.go).
+	next := &locator[T]{oldVal: val}
 	for {
 		loc := v.load()
 		var ver uint64
@@ -146,7 +160,8 @@ func (v *TVar[T]) Set(val T) {
 			}
 			_, ver = settledView(loc, StatusOf(w))
 		}
-		if v.loc.CompareAndSwap(loc, &locator[T]{oldVal: val, version: ver + 1}) {
+		next.version = ver + 1
+		if v.loc.CompareAndSwap(loc, next) {
 			return
 		}
 	}
@@ -155,31 +170,69 @@ func (v *TVar[T]) Set(val T) {
 // release folds the variable if tx owns it (post-termination cleanup).
 // A committed owner installs the folded quiescent locator; an aborted
 // owner restores the pre-acquisition locator (prev) when it is available,
-// avoiding the allocation entirely.
+// avoiding the allocation entirely. Folded locators come from and return
+// to the thread's recycler (pool.go): the fold CAS is what unlinks the
+// displaced locator, so the CAS winner — and only the winner — retires it.
 func (v *TVar[T]) release(tx *Tx) {
+	pool := poolOf[T](tx, v)
 	for {
 		loc := v.loc.Load()
 		if loc == nil || loc.owner != tx {
 			// Not ours (or already replaced by an acquiring enemy that
-			// folded us into its own CAS path).
+			// folded us into its own CAS path — the enemy's fold retires
+			// our locator, not us).
 			return
 		}
 		var next *locator[T]
+		var zero T
+		// private: next is ours alone (popped or freshly allocated), so a
+		// lost CAS may return it straight to the free list. The reinstated
+		// prev in the abort branch is NOT private — if our CAS loses it,
+		// the winning enemy's fold has already retired it.
+		private := true
+		committed := false
 		switch tx.Status() {
 		case Committed:
-			next = &locator[T]{oldVal: loc.newVal, version: loc.version + 1}
+			committed = true
+			if next = pool.get(tx); next == nil {
+				next = new(locator[T])
+			}
+			next.owner, next.serial = nil, 0
+			next.oldVal, next.newVal = loc.newVal, zero
+			next.version = loc.version + 1
+			next.prev = nil
 		case Aborted:
 			if loc.prev != nil {
 				next = loc.prev
+				private = false
 			} else {
-				next = &locator[T]{oldVal: loc.oldVal, version: loc.version}
+				if next = pool.get(tx); next == nil {
+					next = new(locator[T])
+				}
+				next.owner, next.serial = nil, 0
+				next.oldVal, next.newVal = loc.oldVal, zero
+				next.version = loc.version
+				next.prev = nil
 			}
 		default:
 			// release only runs after termination; tolerate a torn call.
 			return
 		}
 		if v.loc.CompareAndSwap(loc, next) {
+			// The CAS unlinked loc; on commit it also orphaned loc.prev
+			// (the quiescent locator our acquisition displaced). Read prev
+			// BEFORE retiring loc — retire reuses the field as its list
+			// link. On abort, prev (if any) was just reinstated: live, not
+			// retired.
+			prev := loc.prev
+			pool.retire(tx, loc)
+			if committed && prev != nil {
+				pool.retire(tx, prev)
+			}
 			return
+		}
+		if private {
+			pool.put(next)
 		}
 	}
 }
@@ -247,6 +300,7 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 	if p := tx.rt.openProbe; p != nil {
 		p.OnOpen(tx)
 	}
+	pool := poolOf[T](tx, v)
 	attempt := 0
 	for {
 		tx.checkAlive()
@@ -275,21 +329,44 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 		// ownership held through a sleep would serialize every reader of
 		// the variable behind this writer.
 		v.readers.resolveWriters(tx, &attempt)
-		next := &locator[T]{owner: tx, serial: tx.serial(), newVal: val}
+		next := pool.get(tx)
+		if next == nil {
+			next = new(locator[T])
+		}
+		// Recycled locators arrive poisoned: every field is (re)assigned
+		// here, on both branches, before the publish CAS.
+		next.owner, next.serial = tx, tx.serial()
+		next.newVal = val
 		if loc.owner == nil {
 			next.oldVal, next.version = loc.oldVal, loc.version
 			next.prev = loc
 		} else {
 			word, ok := ownerView(loc)
 			if !ok {
+				pool.put(next)
 				tx.casRetries++
 				continue
 			}
 			next.oldVal, next.version = settledView(loc, StatusOf(word))
+			next.prev = nil
 		}
 		if !v.loc.CompareAndSwap(loc, next) {
+			// next was never published; no other thread saw it.
+			pool.put(next)
 			tx.casRetries++
 			continue
+		}
+		if loc.owner != nil {
+			// Our CAS folded a terminated enemy's locator: loc is now
+			// unreachable, and so is the quiescent prev it displaced (the
+			// enemy's release, had it won, would have reinstated or folded
+			// it — losing the CAS hands both to us). Read prev BEFORE
+			// retiring loc; retire reuses the field as its list link.
+			prev := loc.prev
+			pool.retire(tx, loc)
+			if prev != nil {
+				pool.retire(tx, prev)
+			}
 		}
 		tx.writes = append(tx.writes, v)
 		tx.acquires++
@@ -310,10 +387,104 @@ func Write[T any](tx *Tx, v *TVar[T], val T) {
 	}
 }
 
-// Modify reads v and writes f(current) back, as one open-for-write.
+// Modify reads v and writes f(current) back as a single open-for-write:
+// one ownership acquisition instead of a Read (reader registration, reader
+// resolution) followed by a Write (acquisition, second probe dispatch).
+// f may run more than once — once per acquisition retry — so it must be
+// pure. The function value is passed through ModifyArg as its argument,
+// which keeps the call allocation-free: both func values are static, so
+// neither closes over anything.
 func Modify[T any](tx *Tx, v *TVar[T], f func(T) T) {
-	cur := Read(tx, v)
-	Write(tx, v, f(cur))
+	ModifyArg(tx, v, f, applyFn[T])
+}
+
+// applyFn adapts Modify's unary function to ModifyArg's shape.
+func applyFn[T any](cur T, f func(T) T) T { return f(cur) }
+
+// ModifyArg is Modify with an explicit argument threaded through to f, so
+// callers can use a static top-level function instead of a closure — a
+// closure capturing loop state allocates on every call; a static func
+// value never does. The read is subsumed by the acquisition: the CAS that
+// installs ownership validates that the settled value f consumed is still
+// the variable's current value, and ownership from that point blocks every
+// conflicting writer, so the read-compute-write is atomic without touching
+// the reader table. f may run once per acquisition retry; it must be pure.
+func ModifyArg[T, A any](tx *Tx, v *TVar[T], arg A, f func(T, A) T) {
+	if tx.rt.invisible {
+		Write(tx, v, f(readInvisible(tx, v), arg))
+		return
+	}
+	tx.maybeYield()
+	if p := tx.rt.openProbe; p != nil {
+		p.OnOpen(tx)
+	}
+	pool := poolOf[T](tx, v)
+	attempt := 0
+	for {
+		tx.checkAlive()
+		loc := v.load()
+		if w := loc.owner; w != nil {
+			if w == tx {
+				// Already owned: pure in-place update, like Write.
+				loc.newVal = f(loc.newVal, arg)
+				return
+			}
+			word, ok := ownerView(loc)
+			if !ok {
+				tx.casRetries++
+				continue
+			}
+			if StatusOf(word) == Active {
+				tx.resolve(w, word, WriteWrite, &attempt)
+				continue
+			}
+		}
+		v.readers.resolveWriters(tx, &attempt)
+		next := pool.get(tx)
+		if next == nil {
+			next = new(locator[T])
+		}
+		next.owner, next.serial = tx, tx.serial()
+		if loc.owner == nil {
+			next.oldVal, next.version = loc.oldVal, loc.version
+			next.prev = loc
+		} else {
+			word, ok := ownerView(loc)
+			if !ok {
+				pool.put(next)
+				tx.casRetries++
+				continue
+			}
+			next.oldVal, next.version = settledView(loc, StatusOf(word))
+			next.prev = nil
+		}
+		next.newVal = f(next.oldVal, arg)
+		if !v.loc.CompareAndSwap(loc, next) {
+			pool.put(next)
+			tx.casRetries++
+			continue
+		}
+		if loc.owner != nil {
+			// Same fold-retire rule as Write: read prev before retiring
+			// loc (retire reuses the field), then retire both.
+			prev := loc.prev
+			pool.retire(tx, loc)
+			if prev != nil {
+				pool.retire(tx, prev)
+			}
+		}
+		tx.writes = append(tx.writes, v)
+		tx.acquires++
+		v.readers.resolveWriters(tx, &attempt)
+		if tx.Status() != Active {
+			panic(retrySignal{})
+		}
+		if p := tx.rt.openProbe; p != nil {
+			p.OnAcquire(tx)
+		}
+		tx.rt.cm.Opened(tx)
+		return
+	}
 }
 
 // maybeYield implements the runtime's interleaving knob (SetYieldEvery):

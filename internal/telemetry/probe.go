@@ -37,6 +37,11 @@ type Probe struct {
 	// reads that landed in a spill-table slot rather than an inline one, and
 	// the spill-table pool's hit/miss split. All folded in at attempt end.
 	CASRetries, ReaderSpills, SpillPoolHits, SpillPoolMisses *Counter
+	// Locator-recycling instruments (ISSUE 5): how often the write path's
+	// locator came from the per-thread pool versus the allocator, and how
+	// often sealing a retire batch advanced the reclamation epoch. Folded
+	// in at attempt end like the rest.
+	LocatorPoolHits, LocatorPoolMisses, EpochAdvances *Counter
 
 	mask    uint32
 	scratch []probeScratch
@@ -70,6 +75,9 @@ func NewProbe(r *Registry, shards int) *Probe {
 		ReaderSpills:      r.NewCounter("wincm_reader_spills_total", "visible reads registered in spill-table slots", shards),
 		SpillPoolHits:     r.NewCounter("wincm_spill_pool_hits_total", "spill tables served from the pool", shards),
 		SpillPoolMisses:   r.NewCounter("wincm_spill_pool_misses_total", "spill tables freshly allocated", shards),
+		LocatorPoolHits:   r.NewCounter("wincm_locator_pool_hits_total", "write-path locators served from the per-thread pool", shards),
+		LocatorPoolMisses: r.NewCounter("wincm_locator_pool_misses_total", "write-path locators freshly allocated", shards),
+		EpochAdvances:     r.NewCounter("wincm_epoch_advances_total", "reclamation epoch advances performed by batch seals", shards),
 		mask:              uint32(n - 1),
 		scratch:           make([]probeScratch, n),
 	}
@@ -83,6 +91,9 @@ func (p *Probe) foldAttempt(shard int, tx *stm.Tx) {
 	p.ReaderSpills.Add(shard, int64(tx.ReaderSpills()))
 	p.SpillPoolHits.Add(shard, int64(tx.SpillPoolHits()))
 	p.SpillPoolMisses.Add(shard, int64(tx.SpillPoolMisses()))
+	p.LocatorPoolHits.Add(shard, int64(tx.LocatorPoolHits()))
+	p.LocatorPoolMisses.Add(shard, int64(tx.LocatorPoolMisses()))
+	p.EpochAdvances.Add(shard, int64(tx.EpochAdvances()))
 }
 
 // NoOpenHooks implements stm.OpenHookFree: the runtime skips this probe's

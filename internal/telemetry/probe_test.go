@@ -116,6 +116,9 @@ func TestProbeOnLiveRuntime(t *testing.T) {
 		"wincm_reader_spills_total",
 		"wincm_spill_pool_hits_total",
 		"wincm_spill_pool_misses_total",
+		"wincm_locator_pool_hits_total",
+		"wincm_locator_pool_misses_total",
+		"wincm_epoch_advances_total",
 	} {
 		if _, ok := s.Counters[name]; !ok {
 			t.Errorf("hot-path counter %s not registered", name)

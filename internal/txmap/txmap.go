@@ -52,21 +52,37 @@ func (t *Tree[V]) isRed(tx *stm.Tx, n *stm.TVar[nodeData[V]]) bool {
 	return n != t.nilN && stm.Read(tx, n).red
 }
 
-// setRed sets n's color; n must not be the sentinel.
-func (t *Tree[V]) setRed(tx *stm.Tx, n *stm.TVar[nodeData[V]], red bool) {
-	d := stm.Read(tx, n)
-	d.red = red
-	stm.Write(tx, n, d)
+// setRedFn, setParentFn and setValFn are the tree's field updaters in
+// stm.ModifyArg shape. They are top-level generic functions on purpose:
+// passing setRedFn[V] as a func value costs nothing, where a closure
+// capturing the new color would allocate on every recolor.
+func setRedFn[V any](d nodeData[V], red bool) nodeData[V] { d.red = red; return d }
+
+func setParentFn[V any](d nodeData[V], p *stm.TVar[nodeData[V]]) nodeData[V] {
+	d.parent = p
+	return d
 }
 
-// setParent updates n's parent link unless n is the sentinel.
+func setValFn[V any](d nodeData[V], val V) nodeData[V] { d.val = val; return d }
+
+// setRed sets n's color; n must not be the sentinel. A node that already
+// has the requested color is left alone — the read costs one reader
+// stamp, where the write it avoids would acquire ownership and conflict
+// with every concurrent reader of the node.
+func (t *Tree[V]) setRed(tx *stm.Tx, n *stm.TVar[nodeData[V]], red bool) {
+	if stm.Read(tx, n).red == red {
+		return
+	}
+	stm.ModifyArg(tx, n, red, setRedFn[V])
+}
+
+// setParent updates n's parent link unless n is the sentinel. One
+// open-for-write instead of a read followed by a write.
 func (t *Tree[V]) setParent(tx *stm.Tx, n, p *stm.TVar[nodeData[V]]) {
 	if n == t.nilN {
 		return
 	}
-	d := stm.Read(tx, n)
-	d.parent = p
-	stm.Write(tx, n, d)
+	stm.ModifyArg(tx, n, p, setParentFn[V])
 }
 
 // find returns the node with key, or nil if absent.
@@ -101,14 +117,13 @@ func (t *Tree[V]) Get(tx *stm.Tx, key int) (V, bool) {
 }
 
 // Update replaces the value under key, reporting whether it was present.
+// The replacement is a single open-for-write on the node.
 func (t *Tree[V]) Update(tx *stm.Tx, key int, val V) bool {
 	n := t.find(tx, key)
 	if n == nil {
 		return false
 	}
-	d := t.get(tx, n)
-	d.val = val
-	stm.Write(tx, n, d)
+	stm.ModifyArg(tx, n, val, setValFn[V])
 	return true
 }
 
