@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory loc ci
+.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory walcrash loc ci
 
 all: build vet test
 
@@ -14,7 +14,8 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/ ./internal/wal/
+	go test -race -short ./internal/harness/
 
 # What the GitHub workflow runs (.github/workflows/ci.yml).
 ci:
@@ -32,15 +33,18 @@ bench:
 # internal/bench and the frame-clock cells in internal/core.
 BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted|BenchmarkRBTreeParallel/M16$$|BenchmarkVacationParallel/M16$$|BenchmarkWriteHeavyParallel$$|BenchmarkCommittedWrite$$'
 CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M16$$'
+DURABLE_BENCH = 'BenchmarkDurableCommit$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a /tmp/bench_new.txt
+	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a /tmp/bench_new.txt
 	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee bench_baseline.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a bench_baseline.txt
+	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a bench_baseline.txt
 
 # Reproduce the paper's figures (CI-scale; add -paper for the full regime).
 figures:
@@ -49,6 +53,10 @@ figures:
 # Robustness matrix: every manager under deterministic fault injection.
 chaos:
 	go run ./cmd/winbench -fig chaos
+
+# Crash-recovery gate: >= 100 randomized crash points, all must recover.
+walcrash:
+	go run ./cmd/walcrash -seeds 8 -rounds 13
 
 theory:
 	go run ./cmd/wintheory

@@ -9,6 +9,15 @@
 //	winbench -fig trace        ASCII execution timeline of one traced run
 //	winbench -fig chaos        robustness matrix under fault injection
 //	winbench -fig telemetry    interval time series + histogram quantiles
+//	winbench -fig durable      WAL on/off throughput + fsync-batching sweep
+//
+// -durable runs one standalone crash-safe run instead of a figure: the
+// durable red-black-tree workload on a write-ahead log at -wal-dir
+// (in-memory simulated disk when empty), group-committed on the frame
+// clock, optionally snapshotted every -snapshot-every. Run it twice
+// against the same -wal-dir to watch recovery replay the first run's
+// commits. Flags that only make sense for a mode they don't enable
+// (-wal-dir without -durable, -chaos-seed without -chaos, ...) fail fast.
 //
 // Defaults are CI-friendly; -paper restores the published regime
 // (10-second runs averaged over 6 repetitions, threads up to 32).
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"wincm/internal/bench"
+	"wincm/internal/chaos"
 	"wincm/internal/harness"
 	"wincm/internal/stm"
 	"wincm/internal/telemetry"
@@ -65,8 +75,31 @@ func main() {
 		telManager  = flag.String("telemetry-manager", "", "contention manager the -fig telemetry run watches (default adaptive-improved-dynamic)")
 		telJSONL    = flag.String("telemetry-jsonl", "", "write the -fig telemetry interval series to this file as JSONL")
 		telCSV      = flag.String("telemetry-csv", "", "write the -fig telemetry interval series to this file as CSV")
+
+		durable      = flag.Bool("durable", false, "run one standalone durable (write-ahead-logged) workload run instead of a figure")
+		walDir       = flag.String("wal-dir", "", "directory for the durable run's log segments and snapshots (empty = in-memory simulated disk)")
+		walSyncEvery = flag.Int("wal-sync-every", 1, "group-commit depth: fsync once per this many sealed batches")
+		snapEvery    = flag.Duration("snapshot-every", 0, "snapshot period for the durable run (0 = no periodic snapshots)")
 	)
 	flag.Parse()
+
+	// Fail fast on flag combinations that silently do nothing: every flag
+	// below configures a mode another flag enables.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	requireMode := func(mode string, on bool, names ...string) {
+		for _, n := range names {
+			if set[n] && !on {
+				fatalf("-%s has no effect without %s", n, mode)
+			}
+		}
+	}
+	requireMode("-durable", *durable, "wal-dir", "wal-sync-every", "snapshot-every")
+	requireMode("-chaos", *chaosOn, "chaos-seed", "stall-prob", "max-attempts", "tx-deadline")
+	requireMode("-fig telemetry", *fig == "telemetry", "telemetry-interval", "telemetry-jsonl", "telemetry-csv", "telemetry-manager")
+	if *durable && set["fig"] {
+		fatalf("-durable runs a standalone durable workload; it cannot be combined with -fig %s", *fig)
+	}
 
 	opts := harness.Options{
 		Duration:    *dur,
@@ -114,6 +147,10 @@ func main() {
 		}
 	}
 
+	if *durable {
+		durableRun(opts, *walDir, *walSyncEvery, *snapEvery)
+		return
+	}
 	if *fig == "trace" {
 		traceRun(opts)
 		return
@@ -127,13 +164,14 @@ func main() {
 		"ext":       harness.Extended,
 		"chaos":     harness.ChaosSweep,
 		"telemetry": harness.TelemetryFig,
+		"durable":   harness.DurabilityFig,
 	}
 	order := []string{"2", "3", "4", "5", "ext"}
 
 	run := func(name string) {
 		driver, ok := drivers[name]
 		if !ok {
-			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos, telemetry or all)", name)
+			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos, telemetry, durable or all)", name)
 		}
 		tables, err := driver(opts)
 		if err != nil {
@@ -217,4 +255,45 @@ func traceRun(opts harness.Options) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "winbench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// durableRun executes one standalone write-ahead-logged run of the
+// durable red-black-tree workload and reports what was recovered at open
+// and what was made durable by close. Against a persistent -wal-dir,
+// consecutive invocations chain: each recovers its predecessor's commits.
+func durableRun(opts harness.Options, dir string, syncEvery int, snapEvery time.Duration) {
+	threads := 4
+	if len(opts.Threads) > 0 {
+		threads = opts.Threads[len(opts.Threads)-1]
+	}
+	dc := &harness.DurableConfig{Dir: dir, SyncEvery: syncEvery, SnapshotEvery: snapEvery}
+	where := dir
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("durable: %v", err)
+		}
+	} else {
+		dc.FS = chaos.NewDisk(opts.Seed)
+		where = "in-memory simulated disk"
+	}
+	cfg := harness.Config{
+		Manager: "adaptive-improved-dynamic", Threads: threads,
+		WindowN: opts.WindowN, Seed: opts.Seed, Durable: dc,
+	}
+	w := harness.NewDurableMap(threads, 256)
+	res, err := harness.RunTimed(cfg, w, opts.Duration)
+	if err != nil {
+		fatalf("durable: %v", err)
+	}
+	fmt.Printf("durable run: %s, M=%d, %v on %s\n", cfg.Manager, threads, opts.Duration, where)
+	if res.Recovery.SnapshotRestored || res.Recovery.Records > 0 {
+		fmt.Printf("  recovered: snapshot=%v batches=%d records=%d torn-tails=%d\n",
+			res.Recovery.SnapshotRestored, res.Recovery.Batches, res.Recovery.Records, res.Recovery.TornTails)
+	} else {
+		fmt.Println("  recovered: nothing (fresh log)")
+	}
+	fmt.Printf("  committed: %d (%.0f commits/s), aborts/commit %.3f\n",
+		res.Commits, res.Throughput(), res.AbortsPerCommit())
+	fmt.Printf("  wal: appends=%d batches=%d fsyncs=%d bytes=%d snapshots=%d durable-records=%d\n",
+		res.Wal.Appends, res.Wal.Batches, res.Wal.Fsyncs, res.Wal.Bytes, res.Wal.Snapshots, res.Wal.DurableRecords)
 }

@@ -94,6 +94,12 @@ type Injector struct {
 	cfg     Config
 	streams []*rng.Rand // one per thread; only that thread draws from it
 
+	// disabled gates every hook; active counts hooks currently executing
+	// so Shutdown can drain in-flight faults (a stall sleeping in OnOpen
+	// must finish before the runtime is declared quiet).
+	disabled atomic.Bool
+	active   atomic.Int64
+
 	delays   atomic.Int64
 	spurious atomic.Int64
 	stalls   atomic.Int64
@@ -140,12 +146,57 @@ func (in *Injector) stream(tx *stm.Tx) *rng.Rand {
 	return in.streams[tx.D.ThreadID]
 }
 
+// enter gates a hook invocation. The increment-before-check order pairs
+// with Shutdown's disable-then-drain: once Shutdown observes active == 0
+// after setting disabled, no hook body can be running or start running.
+func (in *Injector) enter() bool {
+	in.active.Add(1)
+	if in.disabled.Load() {
+		in.active.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (in *Injector) exit() { in.active.Add(-1) }
+
+// Shutdown disables all fault injection and waits for in-flight hooks —
+// including stalls currently sleeping mid-attempt — to drain. Harnesses
+// must call it when a run finishes: without the drain, a stall injected
+// near the end of one run can still be sleeping (and its thread's rng
+// stream mid-draw) when the next run starts, so back-to-back runs inherit
+// stale injected state and the second schedule is no longer a pure
+// function of its seed. After Shutdown the injector is inert until Reset.
+func (in *Injector) Shutdown() {
+	in.disabled.Store(true)
+	for in.active.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Reset re-arms a Shutdown injector for a fresh run: per-thread fault
+// streams are rebuilt from the configured seed and the event counters are
+// cleared, so the next run replays the exact schedule a fresh New(cfg)
+// would produce. Must not be called while a runtime is using the injector.
+func (in *Injector) Reset() {
+	master := rng.New(in.cfg.Seed)
+	for i := range in.streams {
+		in.streams[i] = master.Split()
+	}
+	in.delays.Store(0)
+	in.spurious.Store(0)
+	in.stalls.Store(0)
+	in.perturbs.Store(0)
+	in.disabled.Store(false)
+}
+
 // OnOpen implements stm.Probe: delays, stalls and spurious aborts at the
 // start of an open.
 func (in *Injector) OnOpen(tx *stm.Tx) {
-	if tx.HoldsFallback() {
+	if tx.HoldsFallback() || !in.enter() {
 		return
 	}
+	defer in.exit()
 	r := in.stream(tx)
 	// Draw all classes unconditionally so the stream advances identically
 	// regardless of which faults fire — reproducibility of the whole
@@ -171,9 +222,10 @@ func (in *Injector) OnOpen(tx *stm.Tx) {
 // OnAcquire implements stm.Probe: stalls right after an ownership
 // acquisition, the worst moment for everyone else.
 func (in *Injector) OnAcquire(tx *stm.Tx) {
-	if tx.HoldsFallback() {
+	if tx.HoldsFallback() || !in.enter() {
 		return
 	}
+	defer in.exit()
 	r := in.stream(tx)
 	stall := r.Bool(in.cfg.StallProb)
 	span := in.span(r, in.cfg.StallDur)
@@ -186,9 +238,10 @@ func (in *Injector) OnAcquire(tx *stm.Tx) {
 // OnCommit implements stm.Probe: delays and spurious aborts at the commit
 // point, stressing the window between validation and the status CAS.
 func (in *Injector) OnCommit(tx *stm.Tx) {
-	if tx.HoldsFallback() {
+	if tx.HoldsFallback() || !in.enter() {
 		return
 	}
+	defer in.exit()
 	r := in.stream(tx)
 	delay := r.Bool(in.cfg.DelayProb)
 	kill := r.Bool(in.cfg.AbortProb)
@@ -211,9 +264,10 @@ func (in *Injector) OnAbort(*stm.Tx) {}
 // the fallback-token holder pass through untouched — chaos must not void
 // the progress guarantee.
 func (in *Injector) PerturbResolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int, dec stm.Decision, wait time.Duration) (stm.Decision, time.Duration) {
-	if tx.HoldsFallback() || enemy.HoldsFallback() {
+	if tx.HoldsFallback() || enemy.HoldsFallback() || !in.enter() {
 		return dec, wait
 	}
+	defer in.exit()
 	r := in.stream(tx)
 	if !r.Bool(in.cfg.PerturbProb) {
 		return dec, wait

@@ -1,0 +1,347 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"wincm/internal/rng"
+	"wincm/internal/wal"
+)
+
+// ErrCrashed is returned by every Disk operation between a crash and the
+// following Reopen, and by operations on file handles opened before the
+// crash forever after — a process whose machine lost power does not get
+// its writes back.
+var ErrCrashed = errors.New("chaos: disk crashed")
+
+// Disk is an in-memory filesystem implementing wal.FS with deterministic
+// crash and fsync-fault injection. It models the POSIX durability contract
+// the WAL is written against, adversarially:
+//
+//   - bytes written to a file are volatile until Sync; a crash keeps an
+//     rng-drawn prefix of each file's volatile tail (torn writes) and all
+//     of its durable bytes;
+//   - created or renamed names are volatile until SyncDir; a crash reverts
+//     the namespace to its last SyncDir (removed names resurrect, new
+//     names vanish — along with any content, however fsynced);
+//   - ArmCrashAfter kills the disk mid-append after an exact byte budget,
+//     so a seeded harness can place the tear at any offset of any record;
+//   - ArmFailSync / ArmShortSync make the next fsync fail — leaving the
+//     tail volatile, or making only an rng-drawn prefix durable first —
+//     modeling the firmware lies that torn-tail recovery exists for.
+//
+// Crash() halts the disk: every subsequent operation fails with ErrCrashed
+// until Reopen(), which resolves torn tails and presents the recovered
+// state. The two-phase split matters for the harness: workload threads
+// still in flight between the crash and recovery must observe a dead disk,
+// not scribble on the state the recovery is about to read. All injection
+// draws come from a single seeded stream, so a crash point replays from
+// its seed.
+type Disk struct {
+	mu  sync.Mutex
+	rng *rng.Rand
+	gen uint64 // bumped at Reopen; invalidates pre-crash handles
+
+	live    map[string]*inode // namespace as the running process sees it
+	durable map[string]*inode // namespace as of the last SyncDir
+
+	crashed     bool
+	crashBudget int64 // bytes until an armed crash; < 0 = disarmed
+	failSync    bool  // next Sync fails, tail stays volatile
+	shortSync   bool  // next Sync persists a strict prefix, then fails
+
+	writes    int64
+	syncs     int64
+	dirSyncs  int64
+	crashes   int64
+	tornBytes int64 // volatile bytes discarded across crashes
+}
+
+// inode holds one file's durable prefix and volatile (unsynced) tail.
+type inode struct {
+	durable  []byte
+	volatile []byte
+}
+
+var _ wal.FS = (*Disk)(nil)
+
+// NewDisk returns an empty crash-injecting disk seeded for reproducible
+// torn-tail draws.
+func NewDisk(seed uint64) *Disk {
+	return &Disk{
+		rng:         rng.New(seed),
+		live:        make(map[string]*inode),
+		durable:     make(map[string]*inode),
+		crashBudget: -1,
+	}
+}
+
+// DiskStats are a Disk's cumulative counters.
+type DiskStats struct {
+	Writes    int64
+	Syncs     int64
+	DirSyncs  int64
+	Crashes   int64
+	TornBytes int64
+}
+
+// Stats returns the disk's counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Writes: d.writes, Syncs: d.syncs, DirSyncs: d.dirSyncs,
+		Crashes: d.crashes, TornBytes: d.tornBytes,
+	}
+}
+
+// ArmCrashAfter schedules a crash once n more bytes have been written
+// (across all files): the write that exhausts the budget keeps exactly its
+// prefix up to the budget and fails with ErrCrashed. n = 0 kills the next
+// write at offset zero.
+func (d *Disk) ArmCrashAfter(n int64) {
+	d.mu.Lock()
+	d.crashBudget = n
+	d.mu.Unlock()
+}
+
+// ArmFailSync makes the next file Sync fail, leaving its tail volatile.
+func (d *Disk) ArmFailSync() {
+	d.mu.Lock()
+	d.failSync = true
+	d.mu.Unlock()
+}
+
+// ArmShortSync makes the next file Sync persist only an rng-drawn strict
+// prefix of the volatile tail before failing.
+func (d *Disk) ArmShortSync() {
+	d.mu.Lock()
+	d.shortSync = true
+	d.mu.Unlock()
+}
+
+// Crash halts the disk immediately, as a power loss would: every
+// operation, on old handles or new, fails with ErrCrashed until Reopen.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	d.crashLocked()
+	d.mu.Unlock()
+}
+
+func (d *Disk) crashLocked() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	d.crashBudget = -1
+	d.crashes++
+}
+
+// Crashed reports whether the disk is between Crash and Reopen.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Reopen brings the disk back after a crash, resolving what survived: the
+// namespace reverts to the last SyncDir, every surviving file keeps its
+// durable bytes plus an rng-drawn prefix of its volatile tail, and all
+// pre-crash handles are dead. No-op if the disk never crashed.
+func (d *Disk) Reopen() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.crashed {
+		return
+	}
+	next := make(map[string]*inode, len(d.durable))
+	for name, ino := range d.durable {
+		keep := int64(0)
+		if len(ino.volatile) > 0 {
+			keep = int64(d.rng.Uint64n(uint64(len(ino.volatile) + 1)))
+		}
+		d.tornBytes += int64(len(ino.volatile)) - keep
+		next[name] = &inode{durable: append(append([]byte(nil), ino.durable...), ino.volatile[:keep]...)}
+	}
+	d.live = next
+	d.durable = make(map[string]*inode, len(next))
+	for name, ino := range next {
+		d.durable[name] = ino
+	}
+	d.gen++
+	d.crashed = false
+	d.failSync = false
+	d.shortSync = false
+}
+
+// Create implements wal.FS.
+func (d *Disk) Create(name string) (wal.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	ino := &inode{}
+	d.live[name] = ino
+	return &diskFile{d: d, ino: ino, gen: d.gen}, nil
+}
+
+// ReadFile implements wal.FS: the running process sees durable and
+// volatile bytes alike (the page cache hides nothing).
+func (d *Disk) ReadFile(name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := d.live[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: %s: no such file", name)
+	}
+	out := make([]byte, 0, len(ino.durable)+len(ino.volatile))
+	return append(append(out, ino.durable...), ino.volatile...), nil
+}
+
+// Remove implements wal.FS. The removal is volatile until SyncDir: a
+// crash resurrects the name.
+func (d *Disk) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if _, ok := d.live[name]; !ok {
+		return fmt.Errorf("chaos: %s: no such file", name)
+	}
+	delete(d.live, name)
+	return nil
+}
+
+// Rename implements wal.FS; volatile until SyncDir.
+func (d *Disk) Rename(oldname, newname string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	ino, ok := d.live[oldname]
+	if !ok {
+		return fmt.Errorf("chaos: %s: no such file", oldname)
+	}
+	delete(d.live, oldname)
+	d.live[newname] = ino
+	return nil
+}
+
+// Truncate implements wal.FS. Recovery's torn-tail trims run before any
+// new writes, so the model keeps it simple: the cut applies to both the
+// durable and volatile views immediately.
+func (d *Disk) Truncate(name string, size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	ino, ok := d.live[name]
+	if !ok {
+		return fmt.Errorf("chaos: %s: no such file", name)
+	}
+	if size <= int64(len(ino.durable)) {
+		ino.durable = ino.durable[:size]
+		ino.volatile = nil
+	} else if rest := size - int64(len(ino.durable)); rest < int64(len(ino.volatile)) {
+		ino.volatile = ino.volatile[:rest]
+	}
+	return nil
+}
+
+// List implements wal.FS.
+func (d *Disk) List() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	names := make([]string, 0, len(d.live))
+	for name := range d.live {
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// SyncDir implements wal.FS: the current namespace becomes the one a
+// crash reverts to. File contents stay as durable as they were.
+func (d *Disk) SyncDir() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.durable = make(map[string]*inode, len(d.live))
+	for name, ino := range d.live {
+		d.durable[name] = ino
+	}
+	d.dirSyncs++
+	return nil
+}
+
+// diskFile is an open handle; gen pins it to the disk incarnation that
+// created it.
+type diskFile struct {
+	d   *Disk
+	ino *inode
+	gen uint64
+}
+
+func (f *diskFile) Write(p []byte) (int, error) {
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed || f.gen != d.gen {
+		return 0, ErrCrashed
+	}
+	if d.crashBudget >= 0 && int64(len(p)) >= d.crashBudget {
+		// The armed crash point lands inside this write: the torn prefix
+		// up to the budget reaches the page cache, then the machine dies.
+		n := int(d.crashBudget)
+		f.ino.volatile = append(f.ino.volatile, p[:n]...)
+		d.writes++
+		d.crashLocked()
+		return n, ErrCrashed
+	}
+	if d.crashBudget >= 0 {
+		d.crashBudget -= int64(len(p))
+	}
+	f.ino.volatile = append(f.ino.volatile, p...)
+	d.writes++
+	return len(p), nil
+}
+
+func (f *diskFile) Sync() error {
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed || f.gen != d.gen {
+		return ErrCrashed
+	}
+	d.syncs++
+	if d.failSync {
+		d.failSync = false
+		return errors.New("chaos: injected fsync failure")
+	}
+	if d.shortSync {
+		d.shortSync = false
+		if n := len(f.ino.volatile); n > 0 {
+			keep := int(d.rng.Uint64n(uint64(n)))
+			f.ino.durable = append(f.ino.durable, f.ino.volatile[:keep]...)
+			f.ino.volatile = f.ino.volatile[keep:]
+		}
+		return errors.New("chaos: injected short fsync")
+	}
+	f.ino.durable = append(f.ino.durable, f.ino.volatile...)
+	f.ino.volatile = nil
+	return nil
+}
+
+func (f *diskFile) Close() error { return nil }

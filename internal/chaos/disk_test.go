@@ -1,0 +1,218 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+
+	"wincm/internal/chaos"
+)
+
+func writeAll(t *testing.T, d *chaos.Disk, name string, data []byte) {
+	t.Helper()
+	f, err := d.Create(name)
+	if err != nil {
+		t.Fatalf("Create %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("Write %s: %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync %s: %v", name, err)
+	}
+	if err := d.SyncDir(); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+// TestDiskVolatileNameLostAtCrash: a created file whose name was never
+// SyncDir'd vanishes at crash, however fsynced its content was.
+func TestDiskVolatileNameLostAtCrash(t *testing.T) {
+	d := chaos.NewDisk(1)
+	writeAll(t, d, "kept", []byte("kept-bytes"))
+	f, _ := d.Create("lost")
+	f.Write([]byte("synced but unnamed"))
+	f.Sync() // content durable, name not
+	d.Crash()
+	d.Reopen()
+	if _, err := d.ReadFile("lost"); err == nil {
+		t.Fatal("volatile name survived the crash")
+	}
+	data, err := d.ReadFile("kept")
+	if err != nil || string(data) != "kept-bytes" {
+		t.Fatalf("durable file damaged: %q %v", data, err)
+	}
+}
+
+// TestDiskTornTailAtCrash: unsynced bytes survive only as a prefix; the
+// durable prefix always survives whole.
+func TestDiskTornTailAtCrash(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		d := chaos.NewDisk(seed)
+		writeAll(t, d, "f", []byte("durable|"))
+		f, _ := d.Create("f") // recreate truncates: rewrite both halves
+		f.Write([]byte("durable|"))
+		f.Sync()
+		d.SyncDir()
+		f.Write([]byte("volatile-tail"))
+		d.Crash()
+		d.Reopen()
+		data, err := d.ReadFile("f")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(data[:8]) != "durable|" {
+			t.Fatalf("seed %d: durable prefix damaged: %q", seed, data)
+		}
+		tail := string(data[8:])
+		if tail != "volatile-tail"[:len(tail)] {
+			t.Fatalf("seed %d: tail %q is not a prefix of the volatile write", seed, tail)
+		}
+	}
+}
+
+// TestDiskRemoveResurrectsWithoutSyncDir: an unsynced removal comes back.
+func TestDiskRemoveResurrectsWithoutSyncDir(t *testing.T) {
+	d := chaos.NewDisk(1)
+	writeAll(t, d, "f", []byte("x"))
+	if err := d.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Reopen()
+	if _, err := d.ReadFile("f"); err != nil {
+		t.Fatal("durable name did not resurrect after unsynced remove")
+	}
+	// With SyncDir the removal sticks.
+	d.Remove("f")
+	d.SyncDir()
+	d.Crash()
+	d.Reopen()
+	if _, err := d.ReadFile("f"); err == nil {
+		t.Fatal("removed+synced file survived the crash")
+	}
+}
+
+// TestDiskArmCrashAfterBudget: the crash lands exactly at the byte budget,
+// mid-write, and everything afterwards fails until Reopen.
+func TestDiskArmCrashAfterBudget(t *testing.T) {
+	d := chaos.NewDisk(1)
+	writeAll(t, d, "f", nil)
+	f, _ := d.Create("f")
+	d.SyncDir()
+	d.ArmCrashAfter(5)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, chaos.ErrCrashed) || n != 5 {
+		t.Fatalf("armed write: n=%d err=%v, want 5, ErrCrashed", n, err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk not crashed after budget")
+	}
+	if _, err := d.Create("g"); !errors.Is(err, chaos.ErrCrashed) {
+		t.Fatalf("Create on crashed disk: %v", err)
+	}
+	if _, err := d.List(); !errors.Is(err, chaos.ErrCrashed) {
+		t.Fatalf("List on crashed disk: %v", err)
+	}
+	d.Reopen()
+	data, err := d.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 5 || string(data) != "01234"[:len(data)] {
+		t.Fatalf("post-crash content %q, want a prefix of 01234", data)
+	}
+	// Dead handle stays dead after Reopen.
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, chaos.ErrCrashed) {
+		t.Fatalf("pre-crash handle wrote after Reopen: %v", err)
+	}
+}
+
+// TestDiskFailAndShortSync: a failed fsync leaves the tail volatile; a
+// short fsync persists a strict prefix. Both report an error.
+func TestDiskFailAndShortSync(t *testing.T) {
+	d := chaos.NewDisk(3)
+	writeAll(t, d, "f", nil)
+	f, _ := d.Create("f")
+	d.SyncDir()
+	f.Write([]byte("abcdef"))
+	d.ArmFailSync()
+	if err := f.Sync(); err == nil {
+		t.Fatal("armed fail-sync succeeded")
+	}
+	d.Crash()
+	d.Reopen()
+	data, _ := d.ReadFile("f")
+	if len(data) > 6 {
+		t.Fatalf("fail-sync made bytes durable: %q", data)
+	}
+
+	// Short sync: only a strict prefix becomes durable before the error;
+	// the remainder stays volatile (it may still survive the crash as a
+	// torn tail, so the invariant is prefix-ness, not loss).
+	d2 := chaos.NewDisk(4)
+	writeAll(t, d2, "g", nil)
+	g, _ := d2.Create("g")
+	d2.SyncDir()
+	g.Write([]byte("abcdef"))
+	d2.ArmShortSync()
+	if err := g.Sync(); err == nil {
+		t.Fatal("armed short-sync succeeded")
+	}
+	d2.Crash()
+	d2.Reopen()
+	data, _ = d2.ReadFile("g")
+	if string(data) != "abcdef"[:len(data)] {
+		t.Fatalf("short sync persisted a non-prefix: %q", data)
+	}
+}
+
+// TestDiskRenameDurability: a rename is volatile until SyncDir — the wal
+// snapshot protocol depends on both directions.
+func TestDiskRenameDurability(t *testing.T) {
+	d := chaos.NewDisk(1)
+	writeAll(t, d, "old", []byte("x"))
+	if err := d.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	d.Reopen()
+	if _, err := d.ReadFile("old"); err != nil {
+		t.Fatal("unsynced rename lost the old name")
+	}
+	if _, err := d.ReadFile("new"); err == nil {
+		t.Fatal("unsynced rename kept the new name")
+	}
+	d.Rename("old", "new")
+	d.SyncDir()
+	d.Crash()
+	d.Reopen()
+	if _, err := d.ReadFile("new"); err != nil {
+		t.Fatal("synced rename lost")
+	}
+	if _, err := d.ReadFile("old"); err == nil {
+		t.Fatal("synced rename kept the old name")
+	}
+}
+
+// TestDiskDeterministicReplay: the same seed and operation sequence
+// resolves crashes identically — the property every walcrash failure
+// reproduction depends on.
+func TestDiskDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []byte {
+		d := chaos.NewDisk(seed)
+		writeAll(t, d, "f", []byte("base-"))
+		f, _ := d.Create("f")
+		f.Write([]byte("base-"))
+		f.Sync()
+		d.SyncDir()
+		f.Write([]byte("tail-0123456789"))
+		d.Crash()
+		d.Reopen()
+		data, _ := d.ReadFile("f")
+		return data
+	}
+	a, b := run(42), run(42)
+	if string(a) != string(b) {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,147 @@
+package chaos_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/chaos"
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+// TestShutdownDrainsInFlightStalls is the regression test for the
+// stale-injected-state bug: an injector stall sleeping inside one run used
+// to still be in flight when the next run started, so the second run's
+// fault schedule depended on the first run's timing. Shutdown must not
+// return while any hook body is executing.
+func TestShutdownDrainsInFlightStalls(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 5, Threads: 2,
+		StallProb: 1.0, StallDur: 20 * time.Millisecond,
+	}
+	in := chaos.New(cfg)
+	mgr, err := cm.New("polka", cfg.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(cfg.Threads, mgr, stm.WithProbe(in), stm.WithFallback(64, 0))
+	v := stm.NewTVar(0)
+
+	// Launch a transaction that will certainly be stalling in OnOpen, then
+	// call Shutdown mid-stall.
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		rt.Thread(0).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+		})
+		close(done)
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond) // let it reach the injected stall
+	in.Shutdown()
+	// The drain guarantee: at Shutdown return no hook body is running, so
+	// the stalled attempt has finished sleeping. The transaction itself
+	// finishes promptly because all further injection is disabled.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("transaction still running after Shutdown drained")
+	}
+	// Disabled means inert: more transactions run fault-free.
+	before := in.Stats()
+	for i := 0; i < 50; i++ {
+		rt.Thread(1).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, stm.Read(tx, v)+1)
+		})
+	}
+	if after := in.Stats(); after != before {
+		t.Fatalf("shut-down injector still firing: %+v -> %+v", before, after)
+	}
+}
+
+// TestResetReplaysScheduleFromSeed: Shutdown+Reset between runs restores
+// the exact fault schedule a fresh injector produces — back-to-back runs
+// cannot inherit stale stream state.
+func TestResetReplaysScheduleFromSeed(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 11, Threads: 1,
+		DelayProb: 0.2, MaxDelay: 10 * time.Microsecond,
+		AbortProb: 0.1,
+	}
+	run := func(in *chaos.Injector) chaos.Stats {
+		mgr, err := cm.New("polka", cfg.Threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := stm.New(cfg.Threads, mgr, stm.WithProbe(in), stm.WithFallback(64, 0))
+		v := stm.NewTVar(0)
+		for i := 0; i < 400; i++ {
+			rt.Thread(0).Atomic(func(tx *stm.Tx) {
+				stm.Write(tx, v, stm.Read(tx, v)+1)
+			})
+		}
+		return in.Stats()
+	}
+
+	fresh := run(chaos.New(cfg))
+
+	in := chaos.New(cfg)
+	first := run(in)
+	in.Shutdown()
+	in.Reset()
+	second := run(in)
+
+	if first != fresh {
+		t.Fatalf("baseline diverged: fresh %+v vs first %+v", fresh, first)
+	}
+	if second != first {
+		t.Fatalf("Reset did not replay the schedule: first %+v vs second %+v", first, second)
+	}
+}
+
+// TestShutdownConcurrentWithHooks hammers Shutdown/Reset against a live
+// workload under -race: the enter/exit gate must neither lose a fault in
+// flight nor let one start after the drain.
+func TestShutdownConcurrentWithHooks(t *testing.T) {
+	cfg := chaos.Config{
+		Seed: 9, Threads: 4,
+		DelayProb: 0.1, MaxDelay: 20 * time.Microsecond,
+		StallProb: 0.05, StallDur: 100 * time.Microsecond,
+		AbortProb: 0.05, PerturbProb: 0.1,
+	}
+	in := chaos.New(cfg)
+	mgr, err := cm.New("karma", cfg.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(cfg.Threads, mgr, stm.WithProbe(in), stm.WithFallback(64, 0))
+	v := stm.NewTVar(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Atomic(func(tx *stm.Tx) {
+					stm.Write(tx, v, stm.Read(tx, v)+1)
+				})
+			}
+		}(rt.Thread(i))
+	}
+	for round := 0; round < 10; round++ {
+		time.Sleep(2 * time.Millisecond)
+		in.Shutdown()
+		in.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -98,6 +98,13 @@ type frameClock struct {
 	dynamic bool
 	epoch   time.Time
 	nowFn   func() int64 // test hook; nil → monotonic ns since epoch
+	// onAdvance, when set, is called with the new frame index after every
+	// published advance, outside the advancing bit (never under a lock).
+	// The durability layer uses it as the group-commit barrier. Installed
+	// before the clock runs (plain field), must be fast and non-blocking,
+	// and may be invoked concurrently and out of frame order when two
+	// advances race — consumers must tolerate both.
+	onAdvance func(frame int64)
 
 	dur     atomic.Int64  // frame duration, ns
 	state   atomic.Uint64 // packed: current frame <<1 | advancing bit
@@ -205,6 +212,9 @@ func (c *frameClock) advance(drain bool) {
 		drained := drain || parked
 		next := c.advanceHeld(int64(s>>1), drained)
 		c.state.Store(uint64(next) << 1) // publish + release in one store
+		if h := c.onAdvance; h != nil && next != int64(s>>1) {
+			h(next)
+		}
 		if c.advReq.Load() == 0 {
 			return
 		}

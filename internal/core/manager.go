@@ -117,6 +117,16 @@ func (m *Manager) Config() Config { return m.cfg }
 // CurrentFrame exposes the frame clock (tests, diagnostics).
 func (m *Manager) CurrentFrame() int64 { return m.clock.Current() }
 
+// SetFrameHook installs fn to be called with the new frame index after
+// every frame-clock advance. The durability layer (wincm/internal/wal)
+// uses it as the group-commit barrier: commits buffered during a frame are
+// sealed into one batch when the frame ends. Install before the runtime
+// executes transactions (plain field, no synchronization). fn runs on
+// whichever thread performed the advance, outside all clock state — it
+// must be fast and non-blocking, and may be called concurrently and out
+// of frame order when two advances race.
+func (m *Manager) SetFrameHook(fn func(frame int64)) { m.clock.onAdvance = fn }
+
 // EstimateC returns thread i's current contention estimate C_i.
 func (m *Manager) EstimateC(i int) float64 { return m.threads[i].est.value() }
 

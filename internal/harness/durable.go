@@ -1,0 +1,337 @@
+// Durable workload: the harness's crash-recovery subject. DurableMap is a
+// transactional red-black tree plus per-thread committed-transaction
+// counters whose every committed transaction stages its write set into the
+// runtime's WAL commit hook. The same type implements the WAL's recovery
+// callbacks (Restore/Apply) and snapshot source, and tees everything it
+// recovers into a plain shadow model, so the walcrash harness can verify
+// byte-level recovery against STM-level replay.
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/rng"
+	"wincm/internal/stm"
+	"wincm/internal/txmap"
+	"wincm/internal/wal"
+)
+
+// Durable op codes staged into commit records.
+const (
+	dopPut   = 1 // key ← val in the tree
+	dopDel   = 2 // delete key from the tree
+	dopCount = 3 // thread key's counter ← val (strictly increasing)
+)
+
+// DurableConfig enables the write-ahead log on a harness run.
+type DurableConfig struct {
+	// FS is the log's filesystem; nil uses wal.DirFS(Dir).
+	FS wal.FS
+	// Dir is the log directory when FS is nil.
+	Dir string
+	// SyncEvery is the group-commit depth (wal.Options.SyncEvery).
+	SyncEvery int
+	// SegmentBytes overrides the segment roll size (0 = wal default).
+	SegmentBytes int64
+	// SnapshotEvery, > 0, snapshots the workload periodically during the
+	// run (the workload must implement DurableWorkload).
+	SnapshotEvery time.Duration
+}
+
+func (dc *DurableConfig) fs() (wal.FS, error) {
+	if dc.FS != nil {
+		return dc.FS, nil
+	}
+	if dc.Dir == "" {
+		return nil, fmt.Errorf("harness: DurableConfig needs FS or Dir")
+	}
+	return wal.DirFS(dc.Dir), nil
+}
+
+// DurableWorkload is the contract a workload must satisfy to be
+// snapshotted and recovered through the WAL.
+type DurableWorkload interface {
+	Workload
+	wal.SnapshotSource
+	// Restore rebuilds state from a snapshot payload (wal.Open callback).
+	Restore(r io.Reader) error
+	// Apply replays one committed transaction (wal.Open callback).
+	Apply(rec wal.CommitRecord) error
+	// Quiesce blocks until no transaction is in flight and prevents new
+	// ones; the returned function resumes them. Snapshots require it: the
+	// WAL's reservation order is consistent with conflict order only, so
+	// a fuzzy snapshot could capture a state no log position corresponds
+	// to.
+	Quiesce() func()
+}
+
+// DurableMap is the crash-recovery workload: a txmap red-black tree keyed
+// in [0, KeyRange) plus one committed-transaction counter per thread.
+// Every transaction performs one tree mutation and bumps its thread's
+// counter, staging both; recovery must reproduce exactly a prefix.
+type DurableMap struct {
+	threads  int
+	keyRange int
+	putPct   float64
+
+	tree     *txmap.Tree[int64]
+	counters []*stm.TVar[int64]
+	gate     sync.RWMutex
+
+	// replay is a private single-threaded runtime (no hook, no chaos)
+	// Restore and Apply run transactions on; recovery happens before the
+	// workload runtime exists.
+	replay *stm.Runtime
+
+	// model shadows what Restore/Apply rebuilt, for verification.
+	model struct {
+		kv       map[int]int64
+		counters []int64
+	}
+	recovered bool
+}
+
+var _ DurableWorkload = (*DurableMap)(nil)
+
+// NewDurableMap builds an empty durable workload for the given thread
+// count and key range. State is only ever populated by running
+// transactions or by recovery — there is no unlogged setup phase, so disk
+// and memory can never disagree about provenance.
+func NewDurableMap(threads, keyRange int) *DurableMap {
+	if keyRange <= 0 {
+		keyRange = 256
+	}
+	mgr, err := cm.New("greedy", 1)
+	if err != nil {
+		panic(err)
+	}
+	w := &DurableMap{
+		threads:  threads,
+		keyRange: keyRange,
+		putPct:   0.6,
+		tree:     txmap.New[int64](),
+		counters: make([]*stm.TVar[int64], threads),
+		replay:   stm.New(1, mgr),
+	}
+	for i := range w.counters {
+		w.counters[i] = stm.NewTVar[int64](0)
+	}
+	w.model.kv = make(map[int]int64)
+	w.model.counters = make([]int64, threads)
+	return w
+}
+
+func (w *DurableMap) Name() string { return "durablemap" }
+
+// Setup is a no-op: see NewDurableMap.
+func (w *DurableMap) Setup(*stm.Thread) {}
+
+// NewRunner returns the transaction loop: one put-or-delete on a random
+// key plus the thread counter bump, both staged for the WAL.
+func (w *DurableMap) NewRunner(id int, seed uint64) Runner {
+	r := rng.New(seed)
+	ctr := w.counters[id]
+	var valBuf [8]byte
+	return func(th *stm.Thread) stm.TxInfo {
+		w.gate.RLock()
+		defer w.gate.RUnlock()
+		key := int(r.Uint64n(uint64(w.keyRange)))
+		val := int64(r.Uint64())
+		put := r.Bool(w.putPct)
+		return th.Atomic(func(tx *stm.Tx) {
+			if put {
+				if !w.tree.Insert(tx, key, val) {
+					w.tree.Update(tx, key, val)
+				}
+				binary.LittleEndian.PutUint64(valBuf[:], uint64(val))
+				tx.Stage(dopPut, uint64(key), valBuf[:])
+			} else {
+				w.tree.Delete(tx, key)
+				tx.Stage(dopDel, uint64(key), nil)
+			}
+			n := stm.Read(tx, ctr) + 1
+			stm.Write(tx, ctr, n)
+			binary.LittleEndian.PutUint64(valBuf[:], uint64(n))
+			tx.Stage(dopCount, uint64(id), valBuf[:])
+		})
+	}
+}
+
+// Verify checks the tree's red-black invariants and the counters' sanity.
+func (w *DurableMap) Verify() error {
+	if err := w.tree.Validate(); err != nil {
+		return err
+	}
+	for i, c := range w.counters {
+		if c.Peek() < 0 {
+			return fmt.Errorf("durablemap: counter %d negative", i)
+		}
+	}
+	return nil
+}
+
+// Quiesce implements DurableWorkload via the runner gate.
+func (w *DurableMap) Quiesce() func() {
+	w.gate.Lock()
+	return w.gate.Unlock
+}
+
+// Snapshot payload: u64 nkv | {u64 key, u64 val}* | u64 nctr | u64*.
+
+// WriteSnapshot implements wal.SnapshotSource. The caller must hold the
+// Quiesce gate.
+func (w *DurableMap) WriteSnapshot(out io.Writer) error {
+	kvs := w.tree.Snapshot()
+	buf := make([]byte, 0, 16+16*len(kvs)+8*len(w.counters))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kvs)))
+	for _, kv := range kvs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(kv.Key))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(kv.Val))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(w.counters)))
+	for _, c := range w.counters {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Peek()))
+	}
+	_, err := out.Write(buf)
+	return err
+}
+
+// Restore implements DurableWorkload: rebuild tree and counters from a
+// snapshot payload, teeing the shadow model.
+func (w *DurableMap) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	w.recovered = true
+	u64 := func() (uint64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("durablemap: truncated snapshot payload")
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, nil
+	}
+	nkv, err := u64()
+	if err != nil {
+		return err
+	}
+	th := w.replay.Thread(0)
+	for i := uint64(0); i < nkv; i++ {
+		k, err := u64()
+		if err != nil {
+			return err
+		}
+		v, err := u64()
+		if err != nil {
+			return err
+		}
+		key, val := int(k), int64(v)
+		th.Atomic(func(tx *stm.Tx) {
+			if !w.tree.Insert(tx, key, val) {
+				w.tree.Update(tx, key, val)
+			}
+		})
+		w.model.kv[key] = val
+	}
+	nctr, err := u64()
+	if err != nil {
+		return err
+	}
+	if int(nctr) != w.threads {
+		return fmt.Errorf("durablemap: snapshot has %d counters, workload has %d threads", nctr, w.threads)
+	}
+	for i := 0; i < int(nctr); i++ {
+		v, err := u64()
+		if err != nil {
+			return err
+		}
+		w.counters[i].Set(int64(v))
+		w.model.counters[i] = int64(v)
+	}
+	return nil
+}
+
+// Apply implements DurableWorkload: replay one committed transaction's
+// staged ops in order on the replay runtime, teeing the shadow model.
+func (w *DurableMap) Apply(rec wal.CommitRecord) error {
+	w.recovered = true
+	th := w.replay.Thread(0)
+	for _, op := range rec.Ops {
+		switch op.Code {
+		case dopPut:
+			if len(op.Val) != 8 {
+				return fmt.Errorf("durablemap: put value is %d bytes", len(op.Val))
+			}
+			key, val := int(op.Key), int64(binary.LittleEndian.Uint64(op.Val))
+			th.Atomic(func(tx *stm.Tx) {
+				if !w.tree.Insert(tx, key, val) {
+					w.tree.Update(tx, key, val)
+				}
+			})
+			w.model.kv[key] = val
+		case dopDel:
+			key := int(op.Key)
+			th.Atomic(func(tx *stm.Tx) { w.tree.Delete(tx, key) })
+			delete(w.model.kv, key)
+		case dopCount:
+			id := int(op.Key)
+			if id < 0 || id >= w.threads {
+				return fmt.Errorf("durablemap: counter id %d out of range", id)
+			}
+			if len(op.Val) != 8 {
+				return fmt.Errorf("durablemap: counter value is %d bytes", len(op.Val))
+			}
+			n := int64(binary.LittleEndian.Uint64(op.Val))
+			if n != w.model.counters[id]+1 {
+				return fmt.Errorf("durablemap: thread %d counter jumped %d -> %d (replay out of order)",
+					id, w.model.counters[id], n)
+			}
+			w.counters[id].Set(n)
+			w.model.counters[id] = n
+		default:
+			return fmt.Errorf("durablemap: unknown op code %d", op.Code)
+		}
+	}
+	return nil
+}
+
+// Counters returns the live per-thread committed-transaction counters.
+func (w *DurableMap) Counters() []int64 {
+	out := make([]int64, len(w.counters))
+	for i, c := range w.counters {
+		out[i] = c.Peek()
+	}
+	return out
+}
+
+// CheckRecovered cross-checks the STM state against the shadow model the
+// recovery callbacks built: the replayed tree must hold exactly the
+// model's pairs (proving the transactional replay path reproduced the
+// plain interpretation of the log) and the counters must match.
+func (w *DurableMap) CheckRecovered() error {
+	if err := w.tree.Validate(); err != nil {
+		return fmt.Errorf("durablemap: recovered tree invalid: %w", err)
+	}
+	kvs := w.tree.Snapshot()
+	if len(kvs) != len(w.model.kv) {
+		return fmt.Errorf("durablemap: recovered tree has %d keys, model %d", len(kvs), len(w.model.kv))
+	}
+	for _, kv := range kvs {
+		mv, ok := w.model.kv[kv.Key]
+		if !ok || mv != kv.Val {
+			return fmt.Errorf("durablemap: key %d: tree %d, model %v %v", kv.Key, kv.Val, mv, ok)
+		}
+	}
+	for i, c := range w.counters {
+		if c.Peek() != w.model.counters[i] {
+			return fmt.Errorf("durablemap: counter %d: tvar %d, model %d", i, c.Peek(), w.model.counters[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package harness_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wincm/internal/chaos"
+	"wincm/internal/harness"
+	"wincm/internal/stm"
+	"wincm/internal/wal"
+)
+
+// BenchmarkDurableCommit prices one committed read-modify-write
+// transaction with its write set staged into the WAL, on the in-memory
+// simulated disk so the number isolates the logging protocol from device
+// latency. off = no hook installed (Stage is a no-op); sync=N = group
+// commit acknowledging every Nth sealed batch.
+func BenchmarkDurableCommit(b *testing.B) {
+	run := func(b *testing.B, log *wal.Log) {
+		cfg := harness.Config{Manager: "greedy", Threads: 1, Seed: 1}
+		mgr, err := cfg.NewManager()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []stm.Option
+		if log != nil {
+			opts = append(opts, stm.WithCommitHook(log))
+		}
+		rt := stm.New(1, mgr, opts...)
+		w := harness.NewDurableMap(1, 256)
+		runner := w.NewRunner(0, 42)
+		th := rt.Thread(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runner(th)
+		}
+		b.StopTimer()
+		if log != nil {
+			if err := log.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	for _, sync := range []int{1, 8} {
+		b.Run(fmt.Sprintf("sync%d", sync), func(b *testing.B) {
+			disk := chaos.NewDisk(uint64(sync))
+			log, _, err := wal.Open(wal.Options{FS: disk, SyncEvery: sync}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, log)
+		})
+	}
+}

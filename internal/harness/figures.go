@@ -84,6 +84,11 @@ type Options struct {
 	// TelemetryJSONL and TelemetryCSV, when non-empty, are files the
 	// TelemetryFig interval series is exported to.
 	TelemetryJSONL, TelemetryCSV string
+	// DurableThreads is the DurabilityFig worker count (default 4).
+	DurableThreads int
+	// DurableSyncs is the DurabilityFig fsync-batching sweep
+	// (default {1, 4, 16}).
+	DurableSyncs []int
 }
 
 // defaultChaosAttempts and defaultChaosDeadline are the fallback budgets

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+
+	"wincm/internal/chaos"
+	"wincm/internal/stats"
+)
+
+// DurabilityFig measures what crash safety costs: the durable workload's
+// throughput per manager with the WAL off, then on across a group-commit
+// fsync-batching sweep (SyncEvery = 1 is fsync-per-batch; larger values
+// acknowledge several sealed batches per fsync). Cells run on the
+// simulated in-memory disk so the numbers isolate the logging protocol —
+// serialization, batch sealing, fsync count — from physical device
+// variance, and stay comparable across CI machines.
+func DurabilityFig(o Options) ([]Table, error) {
+	o = o.withDefaults()
+	threads := o.DurableThreads
+	if threads <= 0 {
+		threads = 4
+	}
+	syncs := o.DurableSyncs
+	if len(syncs) == 0 {
+		syncs = []int{1, 4, 16}
+	}
+
+	t := Table{Title: fmt.Sprintf("Durability: WAL off vs group-commit fsync batching — durablemap, M=%d (commits/s)", threads)}
+	t.Columns = append(t.Columns, "manager", "wal-off")
+	for _, s := range syncs {
+		t.Columns = append(t.Columns, fmt.Sprintf("sync=%d", s))
+	}
+	fsyncCols := fmt.Sprintf("Durability: fsyncs issued per cell — durablemap, M=%d", threads)
+	ft := Table{Title: fsyncCols, Columns: t.Columns}
+
+	for _, mgr := range ComparisonManagerNames() {
+		row := []string{mgr}
+		frow := []string{mgr}
+		off, _, err := o.durableCell(mgr, threads, nil)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.0f", off.Mean))
+		frow = append(frow, "0")
+		for _, s := range syncs {
+			on, fsyncs, err := o.durableCell(mgr, threads, &DurableConfig{SyncEvery: s})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f", on.Mean))
+			frow = append(frow, fmt.Sprintf("%.0f", fsyncs.Mean))
+		}
+		t.Rows = append(t.Rows, row)
+		ft.Rows = append(ft.Rows, frow)
+	}
+	return []Table{t, ft}, nil
+}
+
+// durableCell runs the durable workload Reps times under one WAL setting
+// (nil = logging off) and summarizes throughput and fsync counts. Every
+// rep gets its own fresh disk: the cell measures steady-state logging
+// cost, not recovery.
+func (o Options) durableCell(manager string, threads int, dc *DurableConfig) (tput, fsyncs stats.Summary, err error) {
+	tputs := make([]float64, 0, o.Reps)
+	syncs := make([]float64, 0, o.Reps)
+	for rep := 0; rep < o.Reps; rep++ {
+		seed := o.Seed + uint64(rep)*1_000_003
+		cfg := o.config(manager, threads, seed)
+		if dc != nil {
+			cell := *dc
+			cell.FS = chaos.NewDisk(seed)
+			cfg.Durable = &cell
+		}
+		w := NewDurableMap(threads, o.KeyRange)
+		res, err := RunTimed(cfg, w, o.Duration)
+		if err != nil {
+			return tput, fsyncs, err
+		}
+		tputs = append(tputs, res.Throughput())
+		syncs = append(syncs, float64(res.Wal.Fsyncs))
+	}
+	return stats.Summarize(tputs), stats.Summarize(syncs), nil
+}

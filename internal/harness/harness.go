@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"wincm/internal/metrics"
 	"wincm/internal/stm"
 	"wincm/internal/telemetry"
+	"wincm/internal/wal"
 )
 
 // Runner executes one transaction on th and returns its commit statistics.
@@ -80,6 +82,12 @@ type Config struct {
 	// TelemetryInterval starts an interval sampler on the Telemetry
 	// registry, producing Result.Series (0 = no sampling).
 	TelemetryInterval time.Duration
+	// Durable, when non-nil, opens a write-ahead log on the configured
+	// filesystem, installs it as the runtime's commit hook, and — for
+	// window managers — seals its group-commit batches on frame-clock
+	// advances. If the log holds prior state, the workload must implement
+	// DurableWorkload so it can be recovered into.
+	Durable *DurableConfig
 }
 
 // watched reports whether the run needs a progress watchdog: any fault
@@ -146,6 +154,11 @@ type Result struct {
 	// Series is the interval time series sampled during the run, present
 	// when Config.Telemetry and Config.TelemetryInterval were set.
 	Series []telemetry.Point
+	// Durable is true when the run wrote a write-ahead log; Wal holds its
+	// final counters and Recovery what (if anything) was recovered at open.
+	Durable  bool
+	Wal      wal.Stats
+	Recovery wal.RecoveryInfo
 }
 
 // instruments bundles one run's observability plumbing: the fault
@@ -156,6 +169,10 @@ type instruments struct {
 	wd      *stm.Watchdog
 	tx      *telemetry.TxStats
 	sampler *telemetry.Sampler
+	log     *wal.Log
+	rinfo   wal.RecoveryInfo
+	snapCh  chan struct{} // closed to stop the snapshot ticker
+	snapWG  sync.WaitGroup
 }
 
 // record folds one committed transaction into the telemetry layer (the
@@ -172,7 +189,7 @@ func (ins *instruments) record(id int, info stm.TxInfo) {
 // executes), manager/chaos/watchdog gauges land in the telemetry
 // registry, and the interval sampler starts last so its first point sees
 // every instrument registered.
-func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *instruments) {
+func (c Config) instrument(mgr stm.ContentionManager, w Workload) (*stm.Runtime, *instruments, error) {
 	opts, inj := c.stmOptions()
 	ins := &instruments{inj: inj}
 	var probe stm.Probe
@@ -191,6 +208,59 @@ func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *instrument
 	}
 	if probe != nil {
 		opts = append(opts, stm.WithProbe(probe))
+	}
+	if dc := c.Durable; dc != nil {
+		fs, err := dc.fs()
+		if err != nil {
+			return nil, nil, err
+		}
+		wopt := wal.Options{FS: fs, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes}
+		// A durable workload recovers prior state; anything else may only
+		// run against a fresh directory (nil callbacks make wal.Open fail
+		// if state exists, rather than silently dropping it).
+		var restore func(io.Reader) error
+		var apply func(wal.CommitRecord) error
+		dw, durable := w.(DurableWorkload)
+		if durable {
+			restore, apply = dw.Restore, dw.Apply
+		}
+		log, rinfo, err := wal.Open(wopt, restore, apply)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: opening wal: %w", err)
+		}
+		ins.log, ins.rinfo = log, rinfo
+		opts = append(opts, stm.WithCommitHook(log))
+		// Window managers seal batches on frame advances (group commit at
+		// the frame boundary); classic managers rely on the log's linger
+		// timer.
+		if wm, ok := mgr.(*core.Manager); ok {
+			wm.SetFrameHook(log.Advance)
+		}
+		if reg := c.Telemetry; reg != nil {
+			registerWalGauges(reg, log)
+		}
+		if dc.SnapshotEvery > 0 && durable {
+			ins.snapCh = make(chan struct{})
+			ins.snapWG.Add(1)
+			go func() {
+				defer ins.snapWG.Done()
+				tick := time.NewTicker(dc.SnapshotEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ins.snapCh:
+						return
+					case <-tick.C:
+						resume := dw.Quiesce()
+						err := log.Snapshot(dw)
+						resume()
+						if err != nil {
+							return // log.Err() carries the failure
+						}
+					}
+				}
+			}()
+		}
 	}
 	rt := stm.New(c.Threads, mgr, opts...)
 	rt.SetYieldEvery(c.interleave())
@@ -218,7 +288,26 @@ func (c Config) instrument(mgr stm.ContentionManager) (*stm.Runtime, *instrument
 			ins.sampler = telemetry.StartSampler(reg, c.TelemetryInterval, 0)
 		}
 	}
-	return rt, ins
+	return rt, ins, nil
+}
+
+// registerWalGauges exposes the write-ahead log's counters.
+func registerWalGauges(reg *telemetry.Registry, log *wal.Log) {
+	reg.RegisterGauge(telemetry.NewGauge("wincm_wal_appends_total",
+		"commit records appended to the write-ahead log",
+		func() float64 { return float64(log.Stats().Appends) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_wal_fsyncs_total",
+		"segment fsyncs issued by the write-ahead log",
+		func() float64 { return float64(log.Stats().Fsyncs) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_wal_bytes_total",
+		"bytes written to write-ahead-log segments",
+		func() float64 { return float64(log.Stats().Bytes) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_wal_recoveries_total",
+		"crash recoveries performed at log open",
+		func() float64 { return float64(log.Stats().Recoveries) }))
+	reg.RegisterGauge(telemetry.NewGauge("wincm_wal_torn_tails_total",
+		"torn tails discarded during recovery",
+		func() float64 { return float64(log.Stats().TornTails) }))
 }
 
 // registerChaosGauges exposes the fault injector's live counters so one
@@ -252,11 +341,26 @@ func (c Config) finish(res *Result, ins *instruments, w Workload) error {
 		}
 	}
 	if inj := ins.inj; inj != nil {
+		// Drain in-flight injected faults before reading the counters so a
+		// back-to-back run can't inherit a stall still sleeping here.
+		inj.Shutdown()
 		st := inj.Stats()
 		s.Stalls = st.Stalls
 		s.SpuriousAborts = st.SpuriousAborts
 		s.Delays = st.Delays
 		s.Perturbs = st.Perturbs
+	}
+	if log := ins.log; log != nil {
+		if ins.snapCh != nil {
+			close(ins.snapCh)
+			ins.snapWG.Wait()
+		}
+		if err := log.Close(); err != nil {
+			return fmt.Errorf("harness: closing wal: %w", err)
+		}
+		res.Durable = true
+		res.Wal = log.Stats()
+		res.Recovery = ins.rinfo
 	}
 	if err := w.Verify(); err != nil {
 		return fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), c.Manager, err)
@@ -271,7 +375,10 @@ func RunTimed(cfg Config, w Workload, d time.Duration) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt, ins := cfg.instrument(mgr)
+	rt, ins, err := cfg.instrument(mgr, w)
+	if err != nil {
+		return Result{}, err
+	}
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)
@@ -311,7 +418,10 @@ func RunCount(cfg Config, w Workload, total int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rt, ins := cfg.instrument(mgr)
+	rt, ins, err := cfg.instrument(mgr, w)
+	if err != nil {
+		return Result{}, err
+	}
 	w.Setup(rt.Thread(0))
 
 	per := make([]*metrics.Thread, cfg.Threads)

@@ -1,0 +1,118 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"wincm/internal/bench"
+	"wincm/internal/chaos"
+	"wincm/internal/harness"
+	"wincm/internal/wal"
+)
+
+// TestWalCrashCampaign is the acceptance test for crash-safe durability:
+// >= 100 randomized seeded crash points (8 campaigns x 13 rounds), cycling
+// mid-append, failed-fsync, short-fsync, torn-tail and mid-snapshot
+// crashes on a surviving simulated disk, each followed by recovery and the
+// full invariant check. -short trims to 2 campaigns.
+func TestWalCrashCampaign(t *testing.T) {
+	seeds, rounds := 8, 13
+	if testing.Short() {
+		seeds, rounds = 2, 10
+	}
+	points := 0
+	for s := 0; s < seeds; s++ {
+		o := harness.WalCrashOptions{
+			Seed:     0xC0FFEE + uint64(s)*7919,
+			Rounds:   rounds,
+			Threads:  4,
+			RoundDur: 15 * time.Millisecond,
+		}
+		if s%2 == 1 {
+			o.Manager = "polka" // classic manager: linger-driven seals
+			o.SyncEvery = 4     // batched fsyncs under crashes too
+		}
+		rep, err := harness.WalCrash(o)
+		if err != nil {
+			t.Fatalf("campaign %d: %v", s, err)
+		}
+		points += rep.Rounds
+		for m, n := range rep.ByMode {
+			if n == 0 {
+				t.Fatalf("campaign %d: crash mode %d never exercised", s, m)
+			}
+		}
+		if rep.Replayed == 0 {
+			t.Fatalf("campaign %d: no records ever replayed (workload too slow?)", s)
+		}
+	}
+	if !testing.Short() && points < 100 {
+		t.Fatalf("only %d crash points exercised, want >= 100", points)
+	}
+	t.Logf("%d crash points recovered cleanly", points)
+}
+
+// TestRunTimedDurable exercises the harness wiring end to end: a durable
+// run over a fresh in-memory disk, then a second run recovering the
+// first's state through Config.Durable, with the WAL counters surfacing in
+// the Result.
+func TestRunTimedDurable(t *testing.T) {
+	disk := chaos.NewDisk(7)
+	dc := &harness.DurableConfig{FS: disk, SnapshotEvery: 20 * time.Millisecond}
+	cfg := harness.Config{Manager: "adaptive-improved", Threads: 4, Seed: 99, Durable: dc}
+
+	w := harness.NewDurableMap(cfg.Threads, 64)
+	res, err := harness.RunTimed(cfg, w, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Durable || res.Wal.Appends == 0 || res.Wal.Fsyncs == 0 {
+		t.Fatalf("durable run logged nothing: %+v", res.Wal)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	live := w.Counters()
+
+	// Clean close means the second open must recover everything exactly.
+	w2 := harness.NewDurableMap(cfg.Threads, 64)
+	res2, err := harness.RunTimed(cfg, w2, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Recovery.Records+res2.Recovery.SnapshotSeq == 0 && !res2.Recovery.SnapshotRestored {
+		t.Fatalf("second run recovered nothing: %+v", res2.Recovery)
+	}
+	if res2.Recovery.TornTails != 0 {
+		t.Fatalf("graceful close left torn tails: %+v", res2.Recovery)
+	}
+	got := w2.Counters()
+	for i := range live {
+		if got[i] < live[i] {
+			t.Fatalf("thread %d lost committed transactions: recovered %d < %d", i, got[i], live[i])
+		}
+	}
+}
+
+// TestRunTimedDurableRejectsStateWithoutRecovery: a plain workload cannot
+// open a log that holds prior state — the harness must refuse rather than
+// silently drop it.
+func TestRunTimedDurableRejectsStateWithoutRecovery(t *testing.T) {
+	disk := chaos.NewDisk(3)
+	dc := &harness.DurableConfig{FS: disk}
+	cfg := harness.Config{Manager: "greedy", Threads: 2, Seed: 5, Durable: dc}
+	w := harness.NewDurableMap(cfg.Threads, 32)
+	if _, err := harness.RunTimed(cfg, w, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Now the disk holds segments; a non-durable workload must be refused.
+	nw, err := harness.NewWorkload("rbtree", bench.Mix{UpdatePct: 100, KeyRange: 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harness.RunTimed(cfg, nw, 20*time.Millisecond); err == nil {
+		t.Fatal("harness opened a stateful log under a workload that cannot recover it")
+	}
+}
+
+var _ wal.SnapshotSource = (*harness.DurableMap)(nil)

@@ -1,0 +1,222 @@
+package stm_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+)
+
+// orderHook records, in PreCommit reservation order, the value each
+// transaction staged; PostCommit settles whether the reservation
+// committed. It is the minimal durability layer — just the ordering.
+type orderHook struct {
+	mu   sync.Mutex
+	vals []int
+	outc []*bool // settled outcome per reservation, same index as vals
+}
+
+func (h *orderHook) PreCommit(tx *stm.Tx) (any, error) {
+	in := tx.Intents()
+	if len(in) != 1 {
+		return nil, fmt.Errorf("want 1 intent, have %d", len(in))
+	}
+	committed := new(bool)
+	h.mu.Lock()
+	h.vals = append(h.vals, int(in[0].Key))
+	h.outc = append(h.outc, committed)
+	h.mu.Unlock()
+	return committed, nil
+}
+
+func (h *orderHook) PostCommit(_ *stm.Tx, token any, committed bool) error {
+	*token.(*bool) = committed
+	return nil
+}
+
+// TestHookReservationOrderIsSerializationOrder is the correctness test for
+// the two-phase hook protocol: many threads increment one counter and
+// stage the value they wrote. Because PreCommit reserves before the commit
+// CAS and any dependent read happens after it, the committed reservations
+// must hold strictly increasing counter values — the exact property WAL
+// replay depends on. A post-CAS-only hook fails this test under load.
+func TestHookReservationOrderIsSerializationOrder(t *testing.T) {
+	const threads, perThread = 8, 400
+	h := &orderHook{}
+	mgr, err := cm.New("karma", threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(threads, mgr, stm.WithCommitHook(h))
+	ctr := stm.NewTVar(0)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for j := 0; j < perThread; j++ {
+				th.Atomic(func(tx *stm.Tx) {
+					n := stm.Read(tx, ctr) + 1
+					stm.Write(tx, ctr, n)
+					tx.Stage(1, uint64(n), nil)
+				})
+			}
+		}(rt.Thread(i))
+	}
+	wg.Wait()
+
+	want := 1
+	for i, v := range h.vals {
+		if !*h.outc[i] {
+			continue // aborted at the CAS; its slot is void
+		}
+		if v != want {
+			t.Fatalf("committed reservation %d out of order: staged %d, want %d", i, v, want)
+		}
+		want++
+	}
+	if want-1 != threads*perThread {
+		t.Fatalf("%d committed reservations, want %d", want-1, threads*perThread)
+	}
+	if got := ctr.Peek(); got != threads*perThread {
+		t.Fatalf("counter %d, want %d", got, threads*perThread)
+	}
+}
+
+// failHook fails PreCommit (and optionally PostCommit) on demand.
+type failHook struct {
+	preErr  error
+	postErr error
+	pre     int
+	post    int
+}
+
+func (h *failHook) PreCommit(*stm.Tx) (any, error) {
+	h.pre++
+	return nil, h.preErr
+}
+
+func (h *failHook) PostCommit(*stm.Tx, any, bool) error {
+	h.post++
+	return h.postErr
+}
+
+func TestHookErrSurfacesButTxCommits(t *testing.T) {
+	wantErr := errors.New("disk on fire")
+	h := &failHook{preErr: wantErr}
+	mgr, _ := cm.New("greedy", 1)
+	rt := stm.New(1, mgr, stm.WithCommitHook(h))
+	v := stm.NewTVar(0)
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 7)
+		tx.Stage(1, 7, nil)
+	})
+	if !errors.Is(info.HookErr, wantErr) {
+		t.Fatalf("HookErr = %v, want %v", info.HookErr, wantErr)
+	}
+	if got := v.Peek(); got != 7 {
+		t.Fatalf("transaction did not commit in memory: %d", got)
+	}
+	if h.pre != 1 || h.post != 1 {
+		t.Fatalf("hook calls pre=%d post=%d, want 1/1", h.pre, h.post)
+	}
+}
+
+func TestStageWithoutHookIsNoop(t *testing.T) {
+	mgr, _ := cm.New("greedy", 1)
+	rt := stm.New(1, mgr)
+	v := stm.NewTVar(0)
+	rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+		tx.Stage(1, 42, []byte("ignored"))
+		if len(tx.Intents()) != 0 {
+			t.Error("Stage buffered intents with no hook installed")
+		}
+	})
+}
+
+// TestHookSkippedWithoutIntents: read-only (or unstaged) transactions must
+// not pay the hook.
+func TestHookSkippedWithoutIntents(t *testing.T) {
+	h := &failHook{preErr: errors.New("must not be called")}
+	mgr, _ := cm.New("greedy", 1)
+	rt := stm.New(1, mgr, stm.WithCommitHook(h))
+	v := stm.NewTVar(3)
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		_ = stm.Read(tx, v)
+	})
+	if info.HookErr != nil || h.pre != 0 {
+		t.Fatalf("hook ran for an unstaged transaction: %v, pre=%d", info.HookErr, h.pre)
+	}
+}
+
+// TestFailingCommitHookReleasesFallback is the liveness regression test
+// for the serialized-fallback × durability interaction: a transaction that
+// commits while holding the fallback token must release it even when the
+// commit hook fails — a wedged token would serialize the runtime forever
+// behind a dead descriptor. Run under -race in CI.
+func TestFailingCommitHookReleasesFallback(t *testing.T) {
+	wantErr := errors.New("wal append failed")
+	h := &failHook{preErr: wantErr}
+	mgr, _ := cm.New("greedy", 2)
+	rt := stm.New(2, mgr, stm.WithFallback(2, 0), stm.WithCommitHook(h))
+	v := stm.NewTVar(0)
+
+	// Burn the attempt budget so the next attempt takes the token, then
+	// commit with the hook failing.
+	attempts := 0
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+		tx.Stage(1, 1, nil)
+		attempts++
+		if attempts <= 2 {
+			tx.Abort()
+			stm.Read(tx, v) // dead-attempt check unwinds into a retry
+		}
+	})
+	if !info.Fallback {
+		t.Fatalf("transaction never took the fallback token (attempts=%d)", attempts)
+	}
+	if !errors.Is(info.HookErr, wantErr) {
+		t.Fatalf("HookErr = %v, want %v", info.HookErr, wantErr)
+	}
+	if holder := rt.FallbackHolder(); holder != nil {
+		t.Fatalf("fallback token still held by %p after commit with failing hook", holder)
+	}
+
+	// Liveness: another thread's transaction must commit promptly.
+	done := make(chan struct{})
+	go func() {
+		rt.Thread(1).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, 2)
+			tx.Stage(1, 2, nil)
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("runtime wedged behind a stale fallback token")
+	}
+}
+
+// TestHookErrFromPostCommit: a PostCommit failure (e.g. the log noticed
+// its disk died between reservation and settle) surfaces too.
+func TestHookErrFromPostCommit(t *testing.T) {
+	wantErr := errors.New("post failed")
+	h := &failHook{postErr: wantErr}
+	mgr, _ := cm.New("greedy", 1)
+	rt := stm.New(1, mgr, stm.WithCommitHook(h))
+	v := stm.NewTVar(0)
+	info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+		stm.Write(tx, v, 1)
+		tx.Stage(1, 1, nil)
+	})
+	if !errors.Is(info.HookErr, wantErr) {
+		t.Fatalf("HookErr = %v, want %v", info.HookErr, wantErr)
+	}
+}

@@ -180,6 +180,12 @@ type Tx struct {
 	poolOn bool
 	writes []container
 	vreads []vread
+	// intents and stageBuf hold the durable write-set entries staged via
+	// Stage (hook.go); hookErr is the commit hook's error for this attempt.
+	// All owner-thread-only, reset per attempt.
+	intents  []Intent
+	stageBuf []byte
+	hookErr  error
 }
 
 // OpenCalls reports how many transactional opens (Read and Write calls)
@@ -245,6 +251,7 @@ func (tx *Tx) beginAttempt() {
 	tx.casRetries, tx.readerSpills = 0, 0
 	tx.poolHits, tx.poolMisses = 0, 0
 	tx.locPoolHits, tx.locPoolMisses, tx.epochAdvances = 0, 0, 0
+	tx.intents, tx.stageBuf, tx.hookErr = tx.intents[:0], tx.stageBuf[:0], nil
 	tx.poolOn = tx.rt.locPooling.Load()
 	// Announce the attempt in the reclamation epoch before its first
 	// locator load (epoch.go); cleanup clears the pin. Without pooling
@@ -301,6 +308,8 @@ type Runtime struct {
 
 	// probe is the optional fault-injection layer (see probe.go).
 	probe Probe
+	// commitHook is the optional durability hook (see hook.go).
+	commitHook CommitHook
 	// openProbe is probe unless it declared NoOpenHooks, in which case it
 	// is nil and the per-open dispatch in Read/Write vanishes.
 	openProbe Probe
@@ -459,6 +468,11 @@ type TxInfo struct {
 	// token when it committed (it exhausted its budgets or was rescued by
 	// the watchdog).
 	Fallback bool
+	// HookErr is the commit hook's error for the committing attempt, if
+	// any (hook.go). The transaction committed in memory regardless; a
+	// durability layer reports append/flush failures here so harnesses can
+	// distinguish "committed" from "committed durably".
+	HookErr error
 }
 
 // Aborts returns the number of aborted attempts.
@@ -506,8 +520,12 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		if committed {
 			cm.Committed(tx)
 			t.commits.Add(1)
+			info.HookErr = tx.hookErr
 			// Release the fallback token if this transaction held it —
-			// whether acquired below or granted by the watchdog.
+			// whether acquired below or granted by the watchdog. This is
+			// unconditional on the commit hook's outcome: a failing
+			// durability layer surfaces through HookErr, never by wedging
+			// the fallback token (liveness over durability reporting).
 			if rt.fallback.Load() == d {
 				info.Fallback = true
 				rt.releaseFallback(d)
@@ -606,6 +624,11 @@ func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
 // invisible reads the read set is validated first; writes are eagerly
 // owned, so a successful validation followed by the status CAS is a
 // correct serialization point (see invisible.go).
+//
+// A commit hook with staged intents brackets the CAS: PreCommit reserves
+// the attempt's durable-order slot before the CAS, PostCommit reports the
+// CAS outcome right after (see hook.go for why the order matters). Hook
+// errors are recorded in hookErr and never affect the in-memory outcome.
 func (tx *Tx) commit() bool {
 	if p := tx.rt.probe; p != nil {
 		p.OnCommit(tx)
@@ -615,8 +638,23 @@ func (tx *Tx) commit() bool {
 		tx.abortWord(w)
 		return false
 	}
-	if StatusOf(w) != Active ||
-		!tx.status.CompareAndSwap(w, w&^uint64(statusMask)|uint64(Committed)) {
+	var token any
+	h := tx.rt.commitHook
+	hooked := h != nil && len(tx.intents) > 0
+	if hooked {
+		var err error
+		if token, err = h.PreCommit(tx); err != nil {
+			tx.hookErr = err
+		}
+	}
+	ok := StatusOf(w) == Active &&
+		tx.status.CompareAndSwap(w, w&^uint64(statusMask)|uint64(Committed))
+	if hooked {
+		if err := h.PostCommit(tx, token, ok); err != nil && tx.hookErr == nil {
+			tx.hookErr = err
+		}
+	}
+	if !ok {
 		return false
 	}
 	tx.cleanup()

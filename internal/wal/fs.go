@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem the log writes through. It is deliberately tiny —
+// append-only files plus the directory operations a WAL needs — so the
+// chaos layer can substitute an in-memory crash-injecting implementation
+// (wincm/internal/chaos.Disk) and the harness can crash and recover
+// thousands of times per second without touching real disks.
+//
+// Durability contract mirrored from POSIX: bytes written to a File are
+// volatile until its Sync succeeds; a created or renamed name is volatile
+// until SyncDir succeeds. Recovery must assume a crash keeps an arbitrary
+// prefix of any volatile data (torn writes) and drops volatile names.
+type FS interface {
+	// Create creates (or truncates) name for appending.
+	Create(name string) (File, error)
+	// ReadFile returns name's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically renames oldname to newname.
+	Rename(oldname, newname string) error
+	// Truncate cuts name to size bytes (recovery trims torn tails).
+	Truncate(name string, size int64) error
+	// List returns every name in the directory, unsorted.
+	List() ([]string, error)
+	// SyncDir makes name creations, renames and removals durable.
+	SyncDir() error
+}
+
+// File is an append-only log file.
+type File interface {
+	io.Writer
+	// Sync makes every written byte durable.
+	Sync() error
+	// Close releases the file; it does not imply Sync.
+	Close() error
+}
+
+// DirFS returns the real-filesystem implementation rooted at dir.
+func DirFS(dir string) FS { return osFS{dir: dir} }
+
+// osFS implements FS on the operating system's filesystem.
+type osFS struct{ dir string }
+
+func (fs osFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+func (fs osFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(fs.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (fs osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(fs.path(name)) }
+
+func (fs osFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+func (fs osFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+func (fs osFS) Truncate(name string, size int64) error {
+	return os.Truncate(fs.path(name), size)
+}
+
+func (fs osFS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (fs osFS) SyncDir() error {
+	d, err := os.Open(fs.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", fs.dir, err)
+	}
+	return nil
+}

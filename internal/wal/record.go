@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk format. All integers are little-endian.
+//
+// Segment file (wal-%016x.seg, named by its first batch sequence):
+//
+//	header : magic "WINCMSEG" | u32 version | u64 firstSeq
+//	body   : record*
+//
+// Record framing (length-prefixed, CRC-guarded):
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// Payloads:
+//
+//	commit : u8 kindCommit | u64 txid | u32 nops | { u8 op | u64 key | u32 vlen | val }*
+//	seal   : u8 kindSeal   | u64 batchSeq | u32 commitCount
+//
+// A batch (one frame's group commit) is zero or more commit records
+// followed by exactly one seal record carrying the batch sequence and the
+// number of commit records. The seal is the batch's atomicity marker:
+// recovery applies a batch only when its seal arrives intact and its count
+// matches, so a frame whose flush was torn mid-batch contributes nothing —
+// "recovery never resurrects an unsealed frame's transactions".
+//
+// Snapshot file (snap-%016x.snap, named by the first batch sequence NOT
+// covered; written to snap.tmp and renamed):
+//
+//	header  : magic "WINCMSNP" | u32 version | u64 pos
+//	payload : application bytes (opaque to the log)
+//	trailer : u64 payloadLen | u32 crc32c(payload) | magic "SNAPDONE"
+const (
+	segMagic     = "WINCMSEG"
+	snapMagic    = "WINCMSNP"
+	snapEndMagic = "SNAPDONE"
+	formatVer    = 1
+
+	kindCommit = 1
+	kindSeal   = 2
+
+	segHeaderLen  = 8 + 4 + 8
+	snapHeaderLen = 8 + 4 + 8
+	snapFooterLen = 8 + 4 + 8
+	frameLen      = 4 + 4
+)
+
+// crcTab is the Castagnoli table (hardware-accelerated CRC32C).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// appendU32/appendU64 are the little-endian append helpers.
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// appendFramed frames payload into buf: length, CRC, payload.
+func appendFramed(buf, payload []byte) []byte {
+	buf = appendU32(buf, uint32(len(payload)))
+	buf = appendU32(buf, crc32.Checksum(payload, crcTab))
+	return append(buf, payload...)
+}
+
+// nextRecord parses one framed record from data at offset off. It returns
+// the payload and the offset past the record. ok=false means the tail from
+// off on is torn or truncated (short frame, short payload, or CRC
+// mismatch) — by the prefix-durability contract everything after it is
+// garbage too.
+func nextRecord(data []byte, off int64) (payload []byte, end int64, ok bool) {
+	if off+frameLen > int64(len(data)) {
+		return nil, off, false
+	}
+	n := int64(getU32(data[off:]))
+	crc := getU32(data[off+4:])
+	end = off + frameLen + n
+	if end > int64(len(data)) {
+		return nil, off, false
+	}
+	payload = data[off+frameLen : end]
+	if crc32.Checksum(payload, crcTab) != crc {
+		return nil, off, false
+	}
+	return payload, end, true
+}
+
+// segHeader renders a segment header.
+func segHeader(firstSeq int64) []byte {
+	b := make([]byte, 0, segHeaderLen)
+	b = append(b, segMagic...)
+	b = appendU32(b, formatVer)
+	b = appendU64(b, uint64(firstSeq))
+	return b
+}
+
+// parseSegHeader validates a segment header and returns its first batch
+// sequence.
+func parseSegHeader(data []byte) (firstSeq int64, ok bool) {
+	if len(data) < segHeaderLen || string(data[:8]) != segMagic || getU32(data[8:]) != formatVer {
+		return 0, false
+	}
+	return int64(getU64(data[12:])), true
+}
+
+// appendCommitPayload renders a commit payload for txid with the given
+// write set. ops is []stm.Intent-shaped via the opAt accessor to avoid an
+// import the hot path doesn't need; see Log.PreCommit.
+func appendCommitPayload(buf []byte, txid uint64, nops int, opAt func(i int) (code uint8, key uint64, val []byte)) []byte {
+	buf = append(buf, kindCommit)
+	buf = appendU64(buf, txid)
+	buf = appendU32(buf, uint32(nops))
+	for i := 0; i < nops; i++ {
+		code, key, val := opAt(i)
+		buf = append(buf, code)
+		buf = appendU64(buf, key)
+		buf = appendU32(buf, uint32(len(val)))
+		buf = append(buf, val...)
+	}
+	return buf
+}
+
+// Op is one decoded write-set entry of a replayed commit record.
+type Op struct {
+	// Code is the application's operation code (Tx.Stage's op).
+	Code uint8
+	// Key is the application's key.
+	Key uint64
+	// Val is the encoded value; it aliases the segment read buffer and is
+	// only valid during the apply callback.
+	Val []byte
+}
+
+// CommitRecord is one replayed transaction.
+type CommitRecord struct {
+	// Seq is the sealed batch (frame) the transaction was group-committed
+	// in.
+	Seq int64
+	// TxID is the runtime-wide transaction id at commit time.
+	TxID uint64
+	// Ops is the write set in staging order.
+	Ops []Op
+}
+
+// parseCommitPayload decodes a commit payload (sans the kind byte already
+// consumed), appending ops into the caller's scratch slice.
+func parseCommitPayload(p []byte, ops []Op) (txid uint64, out []Op, err error) {
+	if len(p) < 12 {
+		return 0, ops, fmt.Errorf("wal: short commit payload (%d bytes)", len(p))
+	}
+	txid = getU64(p)
+	n := int(getU32(p[8:]))
+	p = p[12:]
+	for i := 0; i < n; i++ {
+		if len(p) < 13 {
+			return 0, ops, fmt.Errorf("wal: short op %d in commit payload", i)
+		}
+		code := p[0]
+		key := getU64(p[1:])
+		vlen := int(getU32(p[9:]))
+		p = p[13:]
+		if len(p) < vlen {
+			return 0, ops, fmt.Errorf("wal: short value in op %d", i)
+		}
+		ops = append(ops, Op{Code: code, Key: key, Val: p[:vlen]})
+		p = p[vlen:]
+	}
+	if len(p) != 0 {
+		return 0, ops, fmt.Errorf("wal: %d trailing bytes in commit payload", len(p))
+	}
+	return txid, ops, nil
+}
+
+// appendSealPayload renders a seal payload.
+func appendSealPayload(buf []byte, seq int64, count int) []byte {
+	buf = append(buf, kindSeal)
+	buf = appendU64(buf, uint64(seq))
+	buf = appendU32(buf, uint32(count))
+	return buf
+}
+
+// parseSealPayload decodes a seal payload (sans kind byte).
+func parseSealPayload(p []byte) (seq int64, count int, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("wal: seal payload is %d bytes, want 12", len(p))
+	}
+	return int64(getU64(p)), int(getU32(p[8:])), nil
+}

@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RecoveryInfo summarizes what Open found and replayed.
+type RecoveryInfo struct {
+	// SnapshotRestored reports that a valid snapshot was restored.
+	SnapshotRestored bool
+	// SnapshotSeq is the first batch sequence NOT covered by the restored
+	// snapshot (0 when none).
+	SnapshotSeq int64
+	// Batches counts sealed batches replayed from segments.
+	Batches int64
+	// Records counts commit records applied.
+	Records int64
+	// TornTails counts torn tails discarded: invalid snapshots, torn or
+	// unsealed segment tails.
+	TornTails int64
+	// NextSeq is the batch sequence the reopened log continues at.
+	NextSeq int64
+}
+
+// Open recovers durable state from opt.FS and returns a running Log that
+// appends strictly after what was recovered.
+//
+// restore is called at most once with the newest valid snapshot's payload;
+// apply is called once per commit record of every intact sealed batch
+// after the snapshot position, in original group-commit order. Both may be
+// nil only if the directory holds no corresponding state.
+//
+// Recovery invariants:
+//   - Prefix, not subset: batches are applied in contiguous sequence
+//     order; the first gap, torn record, or missing/mismatched seal ends
+//     replay. The torn segment is truncated back to its last intact seal
+//     and all later segments are deleted, so post-recovery appends are
+//     reachable on the next recovery.
+//   - Seal-gated: a batch contributes nothing unless its seal record is
+//     intact and its commit count matches — a crash mid-flush can never
+//     resurrect a partial frame.
+//   - Invalid snapshots (torn tmp renames) are discarded in favor of the
+//     next older valid one.
+func Open(opt Options, restore func(r io.Reader) error, apply func(rec CommitRecord) error) (*Log, RecoveryInfo, error) {
+	opt = opt.withDefaults()
+	var info RecoveryInfo
+	if opt.FS == nil {
+		return nil, info, fmt.Errorf("wal: Options.FS is required")
+	}
+	l := &Log{
+		opt:  opt,
+		fs:   opt.FS,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := l.recover(&info, restore, apply); err != nil {
+		return nil, info, err
+	}
+	go l.syncer()
+	return l, info, nil
+}
+
+// recover scans the directory, restores the newest valid snapshot and
+// replays sealed batches. See Open for the contract.
+func (l *Log) recover(info *RecoveryInfo, restore func(r io.Reader) error, apply func(rec CommitRecord) error) error {
+	names, err := l.fs.List()
+	if err != nil {
+		return err
+	}
+
+	// A leftover snap.tmp is an interrupted snapshot: by construction its
+	// final name was never durable, so it is garbage.
+	var snaps, segFiles []string
+	for _, name := range names {
+		switch {
+		case name == snapTmpName:
+			l.fs.Remove(name)
+		default:
+			if _, ok := parseSnapName(name); ok {
+				snaps = append(snaps, name)
+			} else if _, ok := parseSegName(name); ok {
+				segFiles = append(segFiles, name)
+			}
+		}
+	}
+	if len(snaps) == 0 && len(segFiles) == 0 {
+		return nil // fresh directory
+	}
+	l.recoveries.Store(1)
+	defer func() { info.TornTails = l.torn.Load() }()
+
+	// Newest valid snapshot wins; torn ones are deleted and the next
+	// older tried.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	pos := int64(0)
+	for _, name := range snaps {
+		data, err := l.fs.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		payload, p, ok := validateSnapshot(data)
+		if !ok {
+			l.torn.Add(1)
+			l.fs.Remove(name)
+			continue
+		}
+		if restore == nil {
+			return fmt.Errorf("wal: found snapshot %s but no restore callback", name)
+		}
+		if err := restore(bytes.NewReader(payload)); err != nil {
+			return fmt.Errorf("wal: restore snapshot %s: %w", name, err)
+		}
+		info.SnapshotRestored = true
+		info.SnapshotSeq = p
+		pos = p
+		break
+	}
+
+	type seg struct {
+		name  string
+		data  []byte
+		first int64
+	}
+	segs := make([]seg, 0, len(segFiles))
+	for _, name := range segFiles {
+		data, err := l.fs.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		first, ok := parseSegHeader(data)
+		if !ok {
+			// Torn before the header finished: the segment holds nothing.
+			l.torn.Add(1)
+			l.fs.Remove(name)
+			continue
+		}
+		segs = append(segs, seg{name: name, data: data, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	expected := pos
+	var ops []Op
+	torn := -1 // index of the segment where replay stopped, -1 = clean
+scan:
+	for i, s := range segs {
+		if s.first > expected {
+			// A gap means the covering segment was lost; nothing after it
+			// is trustworthy.
+			l.torn.Add(1)
+			torn = i
+			l.fs.Remove(s.name)
+			break scan
+		}
+		off := int64(segHeaderLen)
+		goodEnd := off // end offset of the last intact seal
+		nrecs := 0     // commit records seen since that seal
+		recStart := off
+	records:
+		for off < int64(len(s.data)) {
+			payload, end, ok := nextRecord(s.data, off)
+			if !ok || len(payload) == 0 {
+				goodEnd = -goodEnd // mark: tail from goodEnd on is torn
+				break records
+			}
+			switch payload[0] {
+			case kindCommit:
+				nrecs++
+			case kindSeal:
+				seq, count, err := parseSealPayload(payload[1:])
+				if err != nil || count != nrecs || seq > expected {
+					// Structurally corrupt batch; treat like a tear.
+					goodEnd = -goodEnd
+					break records
+				}
+				if seq == expected {
+					// Replay the batch: re-walk its commit records now
+					// that the seal vouches for them.
+					if err := replayBatch(s.data[recStart:off], seq, count, &ops, apply); err != nil {
+						return err
+					}
+					info.Batches++
+					info.Records += int64(count)
+					expected++
+				}
+				// seq < expected: already covered by the snapshot.
+				nrecs = 0
+				goodEnd = end
+				recStart = end
+			default:
+				goodEnd = -goodEnd
+				break records
+			}
+			off = end
+		}
+		if goodEnd >= 0 && goodEnd < int64(len(s.data)) {
+			// File ends inside an unsealed batch (trailing commit records
+			// with no seal): those transactions never became durable as a
+			// group, so they are torn tail too.
+			goodEnd = -goodEnd
+		}
+		if goodEnd < 0 {
+			// Torn or truncated tail. Trim the file back to its last
+			// intact seal so the next recovery sees a clean end, and stop
+			// replay — everything after a tear is untrustworthy.
+			goodEnd = -goodEnd
+			l.torn.Add(1)
+			l.fs.Truncate(s.name, goodEnd)
+			if i < len(segs)-1 {
+				torn = i
+				break scan
+			}
+		}
+	}
+	if torn >= 0 {
+		// Segments after the tear hold batches that are now unreachable
+		// (their sequences would gap); delete them so the fresh segment
+		// opened at expected is the tail.
+		for _, s := range segs[torn+1:] {
+			l.fs.Remove(s.name)
+		}
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return err
+	}
+	l.nextSeq = expected
+	l.lastSeq = expected - 1
+	l.durableSeq.Store(expected - 1)
+	info.NextSeq = expected
+	return nil
+}
+
+// replayBatch decodes the commit records of one sealed batch (the byte
+// range between the previous seal and this batch's seal) and applies them
+// in order.
+func replayBatch(data []byte, seq int64, count int, scratch *[]Op, apply func(rec CommitRecord) error) error {
+	if count == 0 {
+		return nil
+	}
+	if apply == nil {
+		return fmt.Errorf("wal: found sealed batch %d but no apply callback", seq)
+	}
+	off := int64(0)
+	for n := 0; n < count; {
+		payload, end, ok := nextRecord(data, off)
+		if !ok {
+			return fmt.Errorf("wal: batch %d: record %d unreadable after intact seal", seq, n)
+		}
+		off = end
+		if payload[0] != kindCommit {
+			continue
+		}
+		txid, ops, err := parseCommitPayload(payload[1:], (*scratch)[:0])
+		*scratch = ops
+		if err != nil {
+			return fmt.Errorf("wal: batch %d: %w", seq, err)
+		}
+		if err := apply(CommitRecord{Seq: seq, TxID: txid, Ops: ops}); err != nil {
+			return fmt.Errorf("wal: apply batch %d tx %d: %w", seq, txid, err)
+		}
+		n++
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Snapshot persists a full application snapshot and truncates the log
+// behind it. The caller must guarantee the source is quiescent for the
+// duration of the call — no transaction staging durable writes may be
+// in flight — because batch reservation order is only consistent with
+// conflict order, not with a global serialization order: a fuzzy snapshot
+// could capture T2's write while the log position precedes T1's
+// independent record, double-applying T1 at recovery. The harness gates
+// workers with an RWMutex for exactly this window.
+//
+// Protocol: flush and fsync everything reserved so far, record the next
+// batch sequence as the snapshot position, stream the payload to
+// snap.tmp, fsync, rename to its final name, fsync the directory — then
+// delete every segment (all fully below the position) and older
+// snapshots. A crash anywhere in between leaves either the old state or
+// the new snapshot, never neither.
+func (l *Log) Snapshot(src SnapshotSource) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	pos := l.nextSeq
+	l.mu.Unlock()
+
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+
+	f, err := l.fs.Create(snapTmpName)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, snapHeaderLen)
+	hdr = append(hdr, snapMagic...)
+	hdr = appendU32(hdr, formatVer)
+	hdr = appendU64(hdr, uint64(pos))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	cw := &crcWriter{w: f}
+	if err := src.WriteSnapshot(cw); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot source: %w", err)
+	}
+	l.bytes.Add(cw.n + snapHeaderLen + snapFooterLen)
+	ftr := make([]byte, 0, snapFooterLen)
+	ftr = appendU64(ftr, uint64(cw.n))
+	ftr = appendU32(ftr, cw.crc)
+	ftr = append(ftr, snapEndMagic...)
+	if _, err := f.Write(ftr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(snapTmpName, snapName(pos)); err != nil {
+		return err
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return err
+	}
+	l.snapshots.Add(1)
+
+	// The snapshot is durable; everything before pos is redundant. Close
+	// the active segment (its batches are all < pos — Sync above flushed
+	// them) and delete every segment and every older snapshot. The next
+	// append opens a fresh segment at exactly pos, keeping the sequence
+	// contiguous for recovery.
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil {
+			l.fail(err)
+		}
+		l.cur, l.curName, l.curSize = nil, "", 0
+	}
+	names, err := l.fs.List()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range names {
+		if strings.HasSuffix(name, ".seg") {
+			l.fs.Remove(name)
+			removed = true
+		} else if p, ok := parseSnapName(name); ok && p < pos {
+			l.fs.Remove(name)
+			removed = true
+		}
+	}
+	if removed {
+		return l.fs.SyncDir()
+	}
+	return nil
+}
+
+// crcWriter tees the snapshot payload's length and CRC for the trailer.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crcTab, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// validateSnapshot checks a snapshot file end to end and returns its
+// payload and position. ok=false means the file is torn or corrupt (e.g.
+// a crash during an unsynced rename's data) and must be ignored.
+func validateSnapshot(data []byte) (payload []byte, pos int64, ok bool) {
+	if len(data) < snapHeaderLen+snapFooterLen {
+		return nil, 0, false
+	}
+	if string(data[:8]) != snapMagic || getU32(data[8:]) != formatVer {
+		return nil, 0, false
+	}
+	pos = int64(getU64(data[12:]))
+	ftr := data[len(data)-snapFooterLen:]
+	if string(ftr[12:]) != snapEndMagic {
+		return nil, 0, false
+	}
+	n := int64(getU64(ftr))
+	crc := getU32(ftr[8:])
+	if n != int64(len(data)-snapHeaderLen-snapFooterLen) {
+		return nil, 0, false
+	}
+	payload = data[snapHeaderLen : snapHeaderLen+n]
+	if crc32.Checksum(payload, crcTab) != crc {
+		return nil, 0, false
+	}
+	return payload, pos, true
+}
+
+// parseSegName and parseSnapName recover the sequence encoded in a file
+// name; ok=false for foreign files, which recovery ignores.
+func parseSegName(name string) (firstSeq int64, ok bool) {
+	return parseSeqName(name, "wal-", ".seg")
+}
+
+func parseSnapName(name string) (pos int64, ok bool) {
+	return parseSeqName(name, "snap-", ".snap")
+}
+
+func parseSeqName(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int64(v), true
+}
