@@ -1,7 +1,8 @@
 // Command walcrash hammers the write-ahead log's crash recovery: it runs
 // the durable red-black-tree workload on a simulated disk, kills the disk
 // at randomized seeded points — mid-append byte budgets, failed fsyncs,
-// short fsyncs, torn tails, mid-snapshot — recovers, and verifies the
+// short fsyncs, torn tails, mid-snapshot, and double crashes landing
+// inside recovery itself — recovers, and verifies the
 // durability invariants (exact replay, monotone durable state, the
 // fsync-acknowledgement floor, no resurrection of unsealed batches). Each
 // seed is one campaign: one disk surviving -rounds crashes back to back.
@@ -60,8 +61,8 @@ func main() {
 		points += rep.Rounds
 		replayed += rep.Replayed
 		torn += rep.TornTails
-		fmt.Printf("campaign %d (seed %#x): %d crashes by mode %v, %d committed, %d replayed, %d torn tails, final floor %d\n",
-			s, o.Seed, rep.Rounds, rep.ByMode, rep.Committed, rep.Replayed, rep.TornTails, rep.FinalFloor)
+		fmt.Printf("campaign %d (seed %#x): %d crashes by mode %v, %d in-recovery crashes, %d committed, %d replayed, %d torn tails, final floor %d\n",
+			s, o.Seed, rep.Rounds, rep.ByMode, rep.RecoveryCrashes, rep.Committed, rep.Replayed, rep.TornTails, rep.FinalFloor)
 	}
 	fmt.Printf("walcrash: %d crash points recovered cleanly (%d records replayed, %d torn tails discarded)\n",
 		points, replayed, torn)

@@ -25,6 +25,10 @@ var ErrCrashed = errors.New("chaos: disk crashed")
 //   - created or renamed names are volatile until SyncDir; a crash reverts
 //     the namespace to its last SyncDir (removed names resurrect, new
 //     names vanish — along with any content, however fsynced);
+//   - Truncate performs its two real steps — a volatile cut, then the file
+//     fsync the wal.FS contract requires — so ArmFailSync between them
+//     leaves the cut volatile and a crash resurrects the pre-truncate
+//     durable bytes (the double-crash torn-tail hazard);
 //   - ArmCrashAfter kills the disk mid-append after an exact byte budget,
 //     so a seeded harness can place the tear at any offset of any record;
 //   - ArmFailSync / ArmShortSync make the next fsync fail — leaving the
@@ -59,9 +63,44 @@ type Disk struct {
 }
 
 // inode holds one file's durable prefix and volatile (unsynced) tail.
+// truncLen >= 0 records a truncation of the durable prefix whose fsync has
+// not succeeded yet: the live view is cut, but a crash resurrects the full
+// durable bytes.
 type inode struct {
 	durable  []byte
 	volatile []byte
+	truncLen int64 // pending volatile cut of durable; -1 = none
+}
+
+func newInode() *inode { return &inode{truncLen: -1} }
+
+// liveLen is the file size the running process sees.
+func (ino *inode) liveLen() int64 {
+	n := int64(len(ino.durable))
+	if ino.truncLen >= 0 {
+		n = ino.truncLen
+	}
+	return n + int64(len(ino.volatile))
+}
+
+// liveBytes materializes the live view: the (possibly volatilely cut)
+// durable prefix plus the volatile tail.
+func (ino *inode) liveBytes() []byte {
+	dur := ino.durable
+	if ino.truncLen >= 0 {
+		dur = dur[:ino.truncLen]
+	}
+	out := make([]byte, 0, len(dur)+len(ino.volatile))
+	return append(append(out, dur...), ino.volatile...)
+}
+
+// settleTrunc applies a pending truncation durably (called under a
+// successful fsync).
+func (ino *inode) settleTrunc() {
+	if ino.truncLen >= 0 {
+		ino.durable = ino.durable[:ino.truncLen]
+		ino.truncLen = -1
+	}
 }
 
 var _ wal.FS = (*Disk)(nil)
@@ -157,12 +196,25 @@ func (d *Disk) Reopen() {
 	}
 	next := make(map[string]*inode, len(d.durable))
 	for name, ino := range d.durable {
+		if ino.truncLen >= 0 {
+			// A truncation whose fsync never succeeded: the crash loses the
+			// cut — the full durable bytes resurrect — and any volatile
+			// tail written after the cut is dropped wholesale (its offsets
+			// assumed the cut; worst-case POSIX keeps the old extent).
+			d.tornBytes += int64(len(ino.volatile))
+			n := newInode()
+			n.durable = append([]byte(nil), ino.durable...)
+			next[name] = n
+			continue
+		}
 		keep := int64(0)
 		if len(ino.volatile) > 0 {
 			keep = int64(d.rng.Uint64n(uint64(len(ino.volatile) + 1)))
 		}
 		d.tornBytes += int64(len(ino.volatile)) - keep
-		next[name] = &inode{durable: append(append([]byte(nil), ino.durable...), ino.volatile[:keep]...)}
+		n := newInode()
+		n.durable = append(append([]byte(nil), ino.durable...), ino.volatile[:keep]...)
+		next[name] = n
 	}
 	d.live = next
 	d.durable = make(map[string]*inode, len(next))
@@ -182,7 +234,7 @@ func (d *Disk) Create(name string) (wal.File, error) {
 	if d.crashed {
 		return nil, ErrCrashed
 	}
-	ino := &inode{}
+	ino := newInode()
 	d.live[name] = ino
 	return &diskFile{d: d, ino: ino, gen: d.gen}, nil
 }
@@ -199,8 +251,7 @@ func (d *Disk) ReadFile(name string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("chaos: %s: no such file", name)
 	}
-	out := make([]byte, 0, len(ino.durable)+len(ino.volatile))
-	return append(append(out, ino.durable...), ino.volatile...), nil
+	return ino.liveBytes(), nil
 }
 
 // Remove implements wal.FS. The removal is volatile until SyncDir: a
@@ -234,9 +285,13 @@ func (d *Disk) Rename(oldname, newname string) error {
 	return nil
 }
 
-// Truncate implements wal.FS. Recovery's torn-tail trims run before any
-// new writes, so the model keeps it simple: the cut applies to both the
-// durable and volatile views immediately.
+// Truncate implements wal.FS, whose contract is a *durable* cut. The model
+// runs the two real steps — a volatile in-place truncation, then a file
+// fsync that makes the cut (and everything else in the file) durable — so
+// ArmFailSync can land in the window between them: the live view is cut,
+// the error is returned, and a crash before a later successful sync
+// resurrects the pre-truncate durable bytes. That is exactly the
+// double-crash hazard torn-tail recovery must survive.
 func (d *Disk) Truncate(name string, size int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -247,12 +302,28 @@ func (d *Disk) Truncate(name string, size int64) error {
 	if !ok {
 		return fmt.Errorf("chaos: %s: no such file", name)
 	}
-	if size <= int64(len(ino.durable)) {
-		ino.durable = ino.durable[:size]
-		ino.volatile = nil
-	} else if rest := size - int64(len(ino.durable)); rest < int64(len(ino.volatile)) {
-		ino.volatile = ino.volatile[:rest]
+	// Step 1 (volatile): cut the live view.
+	if size < ino.liveLen() {
+		durLen := int64(len(ino.durable))
+		if ino.truncLen >= 0 {
+			durLen = ino.truncLen
+		}
+		if size <= durLen {
+			ino.truncLen = size
+			ino.volatile = nil
+		} else {
+			ino.volatile = ino.volatile[:size-durLen]
+		}
 	}
+	// Step 2 (fsync): make the cut durable.
+	d.syncs++
+	if d.failSync {
+		d.failSync = false
+		return errors.New("chaos: injected fsync failure (truncate)")
+	}
+	ino.settleTrunc()
+	ino.durable = append(ino.durable, ino.volatile...)
+	ino.volatile = nil
 	return nil
 }
 
@@ -332,6 +403,7 @@ func (f *diskFile) Sync() error {
 	}
 	if d.shortSync {
 		d.shortSync = false
+		f.ino.settleTrunc()
 		if n := len(f.ino.volatile); n > 0 {
 			keep := int(d.rng.Uint64n(uint64(n)))
 			f.ino.durable = append(f.ino.durable, f.ino.volatile[:keep]...)
@@ -339,6 +411,7 @@ func (f *diskFile) Sync() error {
 		}
 		return errors.New("chaos: injected short fsync")
 	}
+	f.ino.settleTrunc()
 	f.ino.durable = append(f.ino.durable, f.ino.volatile...)
 	f.ino.volatile = nil
 	return nil

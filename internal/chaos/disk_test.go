@@ -216,3 +216,38 @@ func TestDiskDeterministicReplay(t *testing.T) {
 		t.Fatalf("same seed diverged: %q vs %q", a, b)
 	}
 }
+
+// TestDiskTruncateVolatileUntilSync: Truncate models its two real steps —
+// volatile cut, then the file fsync the wal.FS contract requires. An armed
+// fsync failure lands between them: the live view is cut, the error
+// surfaces, and a crash resurrects the pre-truncate durable bytes. An
+// unarmed Truncate is durable across a crash.
+func TestDiskTruncateVolatileUntilSync(t *testing.T) {
+	d := chaos.NewDisk(9)
+	writeAll(t, d, "f", []byte("0123456789abcdef"))
+
+	d.ArmFailSync()
+	if err := d.Truncate("f", 7); err == nil {
+		t.Fatal("truncate with armed fail-sync reported durable")
+	}
+	data, _ := d.ReadFile("f")
+	if string(data) != "0123456" {
+		t.Fatalf("live view not cut: %q", data)
+	}
+	d.Crash()
+	d.Reopen()
+	data, _ = d.ReadFile("f")
+	if string(data) != "0123456789abcdef" {
+		t.Fatalf("volatile truncate survived the crash: %q", data)
+	}
+
+	if err := d.Truncate("f", 7); err != nil {
+		t.Fatalf("durable truncate: %v", err)
+	}
+	d.Crash()
+	d.Reopen()
+	data, _ = d.ReadFile("f")
+	if string(data) != "0123456" {
+		t.Fatalf("durable truncate lost at crash: %q", data)
+	}
+}

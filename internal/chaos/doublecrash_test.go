@@ -1,0 +1,133 @@
+package chaos_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"wincm/internal/chaos"
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/wal"
+)
+
+// commitKeys stages one durable write per key through a fresh 1-thread
+// runtime bound to l.
+func commitKeys(t *testing.T, l *wal.Log, keys ...uint64) {
+	t.Helper()
+	mgr, err := cm.New("greedy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(1, mgr, stm.WithCommitHook(l))
+	v := stm.NewTVar(0)
+	for _, key := range keys {
+		var val [8]byte
+		binary.LittleEndian.PutUint64(val[:], key)
+		info := rt.Thread(0).Atomic(func(tx *stm.Tx) {
+			stm.Write(tx, v, int(key))
+			tx.Stage(1, key, val[:])
+		})
+		if info.HookErr != nil {
+			t.Fatalf("commit key %d: hook error: %v", key, info.HookErr)
+		}
+	}
+}
+
+// openWal recovers the log on d, collecting the replayed op keys.
+func openWal(t *testing.T, d *chaos.Disk) (*wal.Log, wal.RecoveryInfo, []uint64) {
+	t.Helper()
+	var keys []uint64
+	l, info, err := wal.Open(wal.Options{FS: d, Linger: -1}, nil,
+		func(rec wal.CommitRecord) error {
+			for _, op := range rec.Ops {
+				keys = append(keys, op.Key)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, info, keys
+}
+
+// TestWalTruncateDurableAcrossDoubleCrash is the regression test for the
+// resurrected-torn-tail hazard: recovery trims a torn tail, new batches
+// get fsync-acknowledged, the machine crashes again. If the trim was not
+// durable the tail resurrects mid-chain and the next recovery discards the
+// acknowledged batches (or replays a divergent same-sequence history). The
+// WAL's contract is that FS.Truncate fsyncs the cut and recovery aborts if
+// it cannot — so acknowledged data survives any number of crashes.
+func TestWalTruncateDurableAcrossDoubleCrash(t *testing.T) {
+	d := chaos.NewDisk(11)
+
+	// Life 1: two fsync-acked batches, then surgical damage standing in
+	// for a crash that tore batch 1 mid-record and left the tear durable.
+	l, _, err := wal.Open(wal.Options{FS: d, Linger: -1}, nil, nil)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	commitKeys(t, l, 0, 1, 2)
+	l.Advance(0)
+	commitKeys(t, l, 3)
+	l.Advance(1)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, _ := d.List()
+	var seg string
+	for _, n := range names {
+		if strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg") {
+			seg = n
+		}
+	}
+	if seg == "" {
+		t.Fatalf("no segment on disk: %v", names)
+	}
+	data, _ := d.ReadFile(seg)
+	if err := d.Truncate(seg, int64(len(data))-3); err != nil {
+		t.Fatalf("surgical tear: %v", err)
+	}
+
+	// First recovery attempt, with the torn-tail trim's internal fsync
+	// armed to fail: Open must refuse to continue on a volatile cut.
+	d.ArmFailSync()
+	if _, _, err := wal.Open(wal.Options{FS: d, Linger: -1}, nil,
+		func(wal.CommitRecord) error { return nil }); err == nil {
+		t.Fatal("recovery proceeded past a non-durable torn-tail truncate")
+	}
+
+	// The machine crashes before any retry: the volatile cut is lost and
+	// the torn tail resurrects.
+	d.Crash()
+	d.Reopen()
+
+	// Second recovery, unarmed: re-trims the tail durably and then
+	// acknowledges a fresh batch.
+	l2, info, keys := openWal(t, d)
+	if info.TornTails == 0 {
+		t.Fatal("resurrected torn tail not counted")
+	}
+	if len(keys) != 3 || keys[0] != 0 || keys[1] != 1 || keys[2] != 2 {
+		t.Fatalf("second recovery replayed %v, want [0 1 2]", keys)
+	}
+	commitKeys(t, l2, 10)
+	l2.Advance(0)
+	if err := l2.Sync(); err != nil {
+		t.Fatalf("Sync acked batch: %v", err)
+	}
+	d.Crash()
+	_ = l2.Close() // the disk is dead; the error is expected
+	d.Reopen()
+
+	// Third recovery: the acknowledged batch survives the double crash and
+	// the torn key 3 never resurrects.
+	l3, _, keys := openWal(t, d)
+	defer l3.Close()
+	if len(keys) != 4 || keys[0] != 0 || keys[1] != 1 || keys[2] != 2 || keys[3] != 10 {
+		t.Fatalf("third recovery replayed %v, want [0 1 2 10]", keys)
+	}
+}

@@ -86,11 +86,14 @@ const (
 	crashShortSync          // fsync persists a strict prefix, then dies
 	crashTornTail           // plain timed crash: unsynced tail is torn
 	crashMidSnapshot        // byte budget armed just before a snapshot
+	crashDouble             // fsync fault armed before recovery itself: the
+	// torn-tail truncate fails mid-recovery, the disk crashes again, and
+	// the resurrected pre-truncate tail must not break the next recovery
 	crashModes
 )
 
 var crashModeNames = [crashModes]string{
-	"mid-append", "fail-sync", "short-sync", "torn-tail", "mid-snapshot",
+	"mid-append", "fail-sync", "short-sync", "torn-tail", "mid-snapshot", "double-crash",
 }
 
 // WalCrashReport summarizes a campaign.
@@ -101,14 +104,21 @@ type WalCrashReport struct {
 	TornTails  int64 // torn tails discarded across all recoveries
 	Snapshots  int64 // snapshots survived into a recovery
 	Committed  int64 // transactions committed in memory across all rounds
-	DiskStats  chaos.DiskStats
-	FinalFloor int64 // durable records proven recovered in the last round
+	// RecoveryCrashes counts double-crash rounds whose armed fault actually
+	// landed inside recovery (wal.Open failed, the disk died with the
+	// torn-tail cut still volatile, and a second recovery ran on the
+	// resurrected tail).
+	RecoveryCrashes int64
+	DiskStats       chaos.DiskStats
+	FinalFloor      int64 // durable records proven recovered in the last round
 }
 
 // WalCrash runs the campaign and returns an error on the first violated
 // invariant. Checked every round, on the accumulated wreckage:
 //
-//  1. recovery succeeds (wal.Open never errors after a crash);
+//  1. recovery succeeds (wal.Open never errors after a crash — except in
+//     double-crash rounds, where a fault armed inside recovery may fail
+//     the first attempt; the rearmed-free second attempt must succeed);
 //  2. the recovered tree passes red-black validation and matches the
 //     shadow interpretation of the log byte-for-byte (CheckRecovered);
 //  3. per-thread counters are monotone across recoveries — durable state
@@ -140,7 +150,26 @@ func WalCrash(o WalCrashOptions) (WalCrashReport, error) {
 
 		w := NewDurableMap(o.Threads, o.KeyRange)
 		wopt := wal.Options{FS: disk, SyncEvery: o.SyncEvery, SegmentBytes: o.SegmentBytes}
+		if mode == crashDouble && round > 0 {
+			// Arm the fault before recovery: if the previous crash left a
+			// torn tail, the durable truncate's internal fsync fails and
+			// Open must error rather than continue on a volatile cut.
+			disk.ArmFailSync()
+		}
 		log, rinfo, err := wal.Open(wopt, w.Restore, w.Apply)
+		if err != nil && mode == crashDouble {
+			// The fault landed inside recovery. Crash now — the volatile
+			// truncate is lost, resurrecting the pre-truncate torn tail —
+			// and recover again from scratch: the second recovery must
+			// re-trim the tail and hold every invariant. Nothing was
+			// fsync-acknowledged in the failed life, so the floor carries
+			// over unchanged.
+			rep.RecoveryCrashes++
+			disk.Crash()
+			disk.Reopen()
+			w = NewDurableMap(o.Threads, o.KeyRange)
+			log, rinfo, err = wal.Open(wopt, w.Restore, w.Apply)
+		}
 		if err != nil {
 			return rep, fmt.Errorf("walcrash round %d: recovery failed: %w", round, err)
 		}
@@ -232,7 +261,12 @@ func WalCrash(o WalCrashOptions) (WalCrashReport, error) {
 			disk.ArmShortSync()
 			time.Sleep(rest)
 			disk.Crash()
-		case crashTornTail:
+		case crashTornTail, crashDouble:
+			// Plain timed crash tearing the unsynced tail. For crashDouble
+			// this both seeds the torn tail the *next* double round's
+			// in-recovery fault needs and, when this round's armed fsync
+			// fault survived an untorn recovery, lets it land on a workload
+			// fsync instead.
 			time.Sleep(rest)
 			disk.Crash()
 		case crashMidSnapshot:

@@ -12,9 +12,10 @@ import (
 
 // TestWalCrashCampaign is the acceptance test for crash-safe durability:
 // >= 100 randomized seeded crash points (8 campaigns x 13 rounds), cycling
-// mid-append, failed-fsync, short-fsync, torn-tail and mid-snapshot
-// crashes on a surviving simulated disk, each followed by recovery and the
-// full invariant check. -short trims to 2 campaigns.
+// mid-append, failed-fsync, short-fsync, torn-tail, mid-snapshot and
+// double-crash (fault landing inside recovery itself) crashes on a
+// surviving simulated disk, each followed by recovery and the full
+// invariant check. -short trims to 2 campaigns.
 func TestWalCrashCampaign(t *testing.T) {
 	seeds, rounds := 8, 13
 	if testing.Short() {

@@ -26,7 +26,11 @@ type FS interface {
 	Remove(name string) error
 	// Rename atomically renames oldname to newname.
 	Rename(oldname, newname string) error
-	// Truncate cuts name to size bytes (recovery trims torn tails).
+	// Truncate cuts name to size bytes and makes the cut durable (fsyncs
+	// the file) before returning. Recovery trims torn tails with it and
+	// then acknowledges new appends; a volatile cut could resurrect the
+	// torn tail on the next crash and split the sequence history, so a
+	// Truncate that cannot guarantee durability must return an error.
 	Truncate(name string, size int64) error
 	// List returns every name in the directory, unsorted.
 	List() ([]string, error)
@@ -68,7 +72,21 @@ func (fs osFS) Rename(oldname, newname string) error {
 }
 
 func (fs osFS) Truncate(name string, size int64) error {
-	return os.Truncate(fs.path(name), size)
+	path := fs.path(name)
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	// os.Truncate alone leaves the cut in the page cache; fsync it so a
+	// crash cannot resurrect the trimmed tail.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync truncated %s: %w", name, err)
+	}
+	return nil
 }
 
 func (fs osFS) List() ([]string, error) {

@@ -78,7 +78,9 @@ func (l *Log) recover(info *RecoveryInfo, restore func(r io.Reader) error, apply
 	for _, name := range names {
 		switch {
 		case name == snapTmpName:
-			l.fs.Remove(name)
+			if err := l.fs.Remove(name); err != nil {
+				return err
+			}
 		default:
 			if _, ok := parseSnapName(name); ok {
 				snaps = append(snaps, name)
@@ -105,7 +107,9 @@ func (l *Log) recover(info *RecoveryInfo, restore func(r io.Reader) error, apply
 		payload, p, ok := validateSnapshot(data)
 		if !ok {
 			l.torn.Add(1)
-			l.fs.Remove(name)
+			if err := l.fs.Remove(name); err != nil {
+				return err
+			}
 			continue
 		}
 		if restore == nil {
@@ -135,7 +139,9 @@ func (l *Log) recover(info *RecoveryInfo, restore func(r io.Reader) error, apply
 		if !ok {
 			// Torn before the header finished: the segment holds nothing.
 			l.torn.Add(1)
-			l.fs.Remove(name)
+			if err := l.fs.Remove(name); err != nil {
+				return err
+			}
 			continue
 		}
 		segs = append(segs, seg{name: name, data: data, first: first})
@@ -152,7 +158,9 @@ scan:
 			// is trustworthy.
 			l.torn.Add(1)
 			torn = i
-			l.fs.Remove(s.name)
+			if err := l.fs.Remove(s.name); err != nil {
+				return err
+			}
 			break scan
 		}
 		off := int64(segHeaderLen)
@@ -205,10 +213,17 @@ scan:
 		if goodEnd < 0 {
 			// Torn or truncated tail. Trim the file back to its last
 			// intact seal so the next recovery sees a clean end, and stop
-			// replay — everything after a tear is untrustworthy.
+			// replay — everything after a tear is untrustworthy. The trim
+			// must be durable (FS.Truncate fsyncs) before the log can
+			// acknowledge new appends: a volatile cut would let a second
+			// crash resurrect the torn tail, tearing the chain mid-sequence
+			// under fsync-acknowledged batches — so a failed trim fails
+			// recovery rather than risking that.
 			goodEnd = -goodEnd
 			l.torn.Add(1)
-			l.fs.Truncate(s.name, goodEnd)
+			if err := l.fs.Truncate(s.name, goodEnd); err != nil {
+				return err
+			}
 			if i < len(segs)-1 {
 				torn = i
 				break scan
@@ -220,7 +235,9 @@ scan:
 		// (their sequences would gap); delete them so the fresh segment
 		// opened at expected is the tail.
 		for _, s := range segs[torn+1:] {
-			l.fs.Remove(s.name)
+			if err := l.fs.Remove(s.name); err != nil {
+				return err
+			}
 		}
 	}
 	if err := l.fs.SyncDir(); err != nil {

@@ -92,7 +92,7 @@ func (l *Log) Snapshot(src SnapshotSource) error {
 	}
 	removed := false
 	for _, name := range names {
-		if strings.HasSuffix(name, ".seg") {
+		if _, ok := parseSegName(name); ok {
 			l.fs.Remove(name)
 			removed = true
 		} else if p, ok := parseSnapName(name); ok && p < pos {

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -313,11 +314,22 @@ func (l *Log) drainWLocked() {
 
 // settle waits out the tiny PreCommit→PostCommit window of every
 // reservation in b and returns the committed records in reservation order.
+// The window is normally a handful of instructions (the commit CAS), but a
+// committing thread can be descheduled inside it; back off from a yield
+// spin to escalating sleeps so a stalled committer parks the writer
+// instead of burning a core under wmu.
 func settle(b *batch) []*walRec {
 	committed := b.recs[:0]
 	for _, rec := range b.recs {
-		for rec.state.Load() == recPending {
-			time.Sleep(time.Microsecond)
+		for spin := 0; rec.state.Load() == recPending; spin++ {
+			switch {
+			case spin < 64:
+				runtime.Gosched()
+			case spin < 1024:
+				time.Sleep(time.Microsecond)
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
 		}
 		if rec.state.Load() == recCommitted {
 			committed = append(committed, rec)
@@ -343,6 +355,9 @@ func (l *Log) writeBatchWLocked(b *batch) {
 		if err := l.openSegmentWLocked(b.seq); err != nil {
 			l.fail(err)
 			l.dropped.Add(int64(len(committed)))
+			for _, rec := range committed {
+				recPool.Put(rec)
+			}
 			return
 		}
 	}
