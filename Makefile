@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory walcrash loc ci
+.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory walcrash trace-smoke loc ci
 
 all: build vet test
 
@@ -34,15 +34,19 @@ bench:
 BASELINE_BENCH = 'BenchmarkSetOps/(list|rbtree|skiplist)|BenchmarkListParallel$$|BenchmarkReadOnlyCommitted|BenchmarkRBTreeParallel/M16$$|BenchmarkVacationParallel/M16$$|BenchmarkWriteHeavyParallel$$|BenchmarkCommittedWrite$$'
 CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M16$$'
 DURABLE_BENCH = 'BenchmarkDurableCommit$$'
+TRACE_BENCH = 'BenchmarkTraceOverhead/(off|sampled64)$$|BenchmarkTraceRecorderUnsampled$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
+	go test -run xxx -bench $(TRACE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a /tmp/bench_new.txt
 	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
+	grep 'BenchmarkTraceRecorderUnsampled' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee bench_baseline.txt
+	go test -run xxx -bench $(TRACE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a bench_baseline.txt
 
@@ -57,6 +61,11 @@ chaos:
 # Crash-recovery gate: >= 100 randomized crash points, all must recover.
 walcrash:
 	go run ./cmd/walcrash -seeds 8 -rounds 13
+
+# Flight-recorder smoke: a traced run must emit a Perfetto-loadable trace.
+trace-smoke:
+	go run ./cmd/winbench -fig trace -dur 300ms -trace-out /tmp/wincm-trace.json
+	go run ./cmd/tracecheck /tmp/wincm-trace.json
 
 theory:
 	go run ./cmd/wintheory

@@ -1,0 +1,79 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// winbench's flight recorder (-trace-out or GET /trace/dump): the bytes
+// must be valid JSON, parse as the trace-event object format, and hold a
+// non-empty event list whose records carry the fields Perfetto needs. It
+// is the CI smoke gate proving `winbench -trace` emits loadable traces.
+//
+//	winbench -fig trace -dur 200ms -trace-out trace.json
+//	go run ./cmd/tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceEvent mirrors the fields tracecheck verifies; unknown fields are
+// ignored so the checker stays forward-compatible with new args.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+type trace struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	if !json.Valid(raw) {
+		fail("%s is not valid JSON", os.Args[1])
+	}
+	var t trace
+	if err := json.Unmarshal(raw, &t); err != nil {
+		fail("not trace-event format: %v", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		fail("trace holds no events")
+	}
+	var spans, meta int
+	for i, e := range t.TraceEvents {
+		if e.Phase == "" {
+			fail("event %d (%q) has no phase", i, e.Name)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			fail("event %d (%q) has negative time: ts=%v dur=%v", i, e.Name, e.TS, e.Dur)
+		}
+		switch e.Phase {
+		case "X":
+			spans++
+		case "M":
+			meta++
+		}
+	}
+	if spans == 0 {
+		fail("no complete (\"X\") spans — nothing for Perfetto to draw")
+	}
+	if meta == 0 {
+		fail("no metadata records — tracks would be unlabeled")
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, %d spans, %d metadata)\n",
+		os.Args[1], len(t.TraceEvents), spans, meta)
+}

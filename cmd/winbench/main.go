@@ -38,16 +38,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"wincm/internal/bench"
 	"wincm/internal/chaos"
 	"wincm/internal/harness"
-	"wincm/internal/stm"
 	"wincm/internal/telemetry"
-	"wincm/internal/trace"
+	"wincm/internal/txtrace"
 )
 
 func main() {
@@ -80,6 +77,11 @@ func main() {
 		walDir       = flag.String("wal-dir", "", "directory for the durable run's log segments and snapshots (empty = in-memory simulated disk)")
 		walSyncEvery = flag.Int("wal-sync-every", 1, "group-commit depth: fsync once per this many sealed batches")
 		snapEvery    = flag.Duration("snapshot-every", 0, "snapshot period for the durable run (0 = no periodic snapshots)")
+
+		traceOn     = flag.Bool("trace", false, "arm the transaction flight recorder on every run (alone, with no -fig/-durable, runs the -fig trace driver)")
+		traceSample = flag.Int("trace-sample", 1, "record one logical transaction in N (1 = every transaction)")
+		traceOut    = flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file (open it in ui.perfetto.dev); single-run modes only (-fig trace, -durable)")
+		traceMgr    = flag.String("trace-manager", "online-dynamic", "contention manager the -fig trace run traces")
 	)
 	flag.Parse()
 
@@ -100,6 +102,37 @@ func main() {
 	if *durable && set["fig"] {
 		fatalf("-durable runs a standalone durable workload; it cannot be combined with -fig %s", *fig)
 	}
+	// Bare -trace is shorthand for the trace driver; with an explicit mode
+	// it layers the recorder onto that mode instead.
+	if *traceOn && !set["fig"] && !*durable {
+		*fig = "trace"
+	}
+	tracing := *traceOn || *fig == "trace"
+	requireMode("-trace (or -fig trace)", tracing, "trace-sample", "trace-out")
+	requireMode("-fig trace", *fig == "trace", "trace-manager")
+	if *traceSample < 1 {
+		fatalf("-trace-sample must be >= 1 (got %d)", *traceSample)
+	}
+	// -trace-out holds one run's trace; figure sweeps run many cells, so
+	// there would be no single trace to write (use /trace/dump against
+	// -telemetry-addr to snapshot a live sweep instead).
+	if *traceOut != "" && !(*fig == "trace" || *durable) {
+		fatalf("-trace-out needs a single-run mode (-fig trace or -durable); with figure sweeps use -telemetry-addr and GET /trace/dump")
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		// Create up front so an unwritable path fails before the run
+		// spends its duration, not after.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		traceFile = f
+	}
+	var traceCfg *harness.TraceConfig
+	if tracing {
+		traceCfg = &harness.TraceConfig{Sample: *traceSample}
+	}
 
 	opts := harness.Options{
 		Duration:    *dur,
@@ -119,6 +152,8 @@ func main() {
 		TelemetryManager:  *telManager,
 		TelemetryJSONL:    *telJSONL,
 		TelemetryCSV:      *telCSV,
+
+		Trace: traceCfg,
 	}
 	if *paper {
 		opts.Duration = 10 * time.Second
@@ -148,11 +183,11 @@ func main() {
 	}
 
 	if *durable {
-		durableRun(opts, *walDir, *walSyncEvery, *snapEvery)
+		durableRun(opts, *walDir, *walSyncEvery, *snapEvery, traceFile)
 		return
 	}
 	if *fig == "trace" {
-		traceRun(opts)
+		traceRun(opts, *traceMgr, traceFile)
 		return
 	}
 
@@ -193,10 +228,12 @@ func main() {
 	run(*fig)
 }
 
-// traceRun executes one short traced run (first benchmark, first thread
-// count of the options, online-dynamic) and prints the execution timeline
-// and the hottest conflicting thread pairs.
-func traceRun(opts harness.Options) {
+// traceRun executes one short flight-recorded run (first benchmark, last
+// thread count of the options) through the harness and prints the
+// execution timeline, the hottest conflicting thread pairs, the
+// hot-variable heatmap and the thread conflict graph. With a trace file it
+// additionally dumps the Chrome trace-event JSON for Perfetto.
+func traceRun(opts harness.Options, manager string, out *os.File) {
 	benchmark := "list"
 	if len(opts.Benchmarks) > 0 {
 		benchmark = opts.Benchmarks[0]
@@ -209,46 +246,48 @@ func traceRun(opts harness.Options) {
 	if err != nil {
 		fatalf("trace: %v", err)
 	}
-	cfg := harness.Config{Manager: "online-dynamic", Threads: threads, WindowN: opts.WindowN, Seed: opts.Seed}
-	inner, err := cfg.NewManager()
+	cfg := opts.Config(manager, threads, opts.Seed)
+	if cfg.Trace == nil {
+		cfg.Trace = &harness.TraceConfig{Hub: opts.Hub}
+	}
+	res, err := harness.RunTimed(cfg, w, opts.Duration)
 	if err != nil {
 		fatalf("trace: %v", err)
 	}
-	tr := trace.Wrap(inner)
-	rt := stm.New(threads, tr)
-	rt.SetYieldEvery(8)
-	w.Setup(rt.Thread(0))
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for i := 0; i < threads; i++ {
-		wg.Add(1)
-		go func(id int, th *stm.Thread) {
-			defer wg.Done()
-			run := w.NewRunner(id, opts.Seed+uint64(id)*7919)
-			for !stop.Load() {
-				run(th)
-			}
-		}(i, rt.Thread(i))
-	}
-	time.Sleep(opts.Duration)
-	stop.Store(true)
-	wg.Wait()
+	col := res.Trace
 
-	counts := tr.Counts()
-	fmt.Printf("traced %s under online-dynamic, M=%d, %v: %d commits, %d aborts, %d conflicts\n\n",
-		benchmark, threads, opts.Duration,
-		counts[trace.Commit], counts[trace.Abort], counts[trace.Conflict])
+	counts := col.Counts()
+	fmt.Printf("traced %s under %s, M=%d, %v (1-in-%d sampling): %d commits, %d aborts, %d conflicts, %d dropped\n\n",
+		benchmark, manager, threads, opts.Duration, col.Recorder().Sample(),
+		counts[txtrace.EvCommit], counts[txtrace.EvAbort], counts[txtrace.EvConflict], col.Dropped())
 	fmt.Println("timeline (* mostly commits, x mostly aborts, ~ conflicts only):")
-	if err := tr.Timeline(os.Stdout, 72); err != nil {
+	if err := col.Timeline(os.Stdout, 72); err != nil {
 		fatalf("trace: %v", err)
 	}
 	fmt.Println("\nhottest conflict pairs (attacker → enemy):")
-	pairs := tr.AbortsByPair()
-	for i, p := range pairs {
+	for i, p := range col.AbortsByPair() {
 		if i >= 8 {
 			break
 		}
 		fmt.Printf("  T%02d → T%02d: %d\n", p.Attacker, p.Enemy, p.Conflicts)
+	}
+	fmt.Println("\nhottest variables (by abort attribution):")
+	for _, v := range col.Heatmap(8) {
+		fmt.Printf("  0x%012x: %4d aborts, %5d conflicts, %6d opens, %v waited\n",
+			v.Var, v.Aborts, v.Conflicts, v.Opens, v.Waits.Round(time.Microsecond))
+	}
+	cs := col.Conflicts(0)
+	fmt.Printf("\nconflict graph: %d threads, %d edges, max degree %d (paper's C), greedy colors %d; %d conflicts, %d aborting\n",
+		cs.Threads, len(cs.Edges), cs.MaxDegree, cs.Colors, cs.Conflicts, cs.Aborts)
+
+	if out != nil {
+		if err := col.WriteChromeTrace(out); err != nil {
+			fatalf("trace: writing %s: %v", out.Name(), err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("trace: closing %s: %v", out.Name(), err)
+		}
+		fmt.Printf("\nchrome trace written to %s (open in ui.perfetto.dev)\n", out.Name())
 	}
 }
 
@@ -261,7 +300,7 @@ func fatalf(format string, args ...any) {
 // durable red-black-tree workload and reports what was recovered at open
 // and what was made durable by close. Against a persistent -wal-dir,
 // consecutive invocations chain: each recovers its predecessor's commits.
-func durableRun(opts harness.Options, dir string, syncEvery int, snapEvery time.Duration) {
+func durableRun(opts harness.Options, dir string, syncEvery int, snapEvery time.Duration, traceFile *os.File) {
 	threads := 4
 	if len(opts.Threads) > 0 {
 		threads = opts.Threads[len(opts.Threads)-1]
@@ -276,10 +315,12 @@ func durableRun(opts harness.Options, dir string, syncEvery int, snapEvery time.
 		dc.FS = chaos.NewDisk(opts.Seed)
 		where = "in-memory simulated disk"
 	}
-	cfg := harness.Config{
-		Manager: "adaptive-improved-dynamic", Threads: threads,
-		WindowN: opts.WindowN, Seed: opts.Seed, Durable: dc,
-	}
+	// Build the cell through Options.Config so a durable run inherits the
+	// same telemetry/trace wiring the figure sweeps get — in particular,
+	// with -telemetry-addr the WAL's fsync-latency and batch-size
+	// histograms land on the live /metrics endpoint.
+	cfg := opts.Config("adaptive-improved-dynamic", threads, opts.Seed)
+	cfg.Durable = dc
 	w := harness.NewDurableMap(threads, 256)
 	res, err := harness.RunTimed(cfg, w, opts.Duration)
 	if err != nil {
@@ -296,4 +337,19 @@ func durableRun(opts harness.Options, dir string, syncEvery int, snapEvery time.
 		res.Commits, res.Throughput(), res.AbortsPerCommit())
 	fmt.Printf("  wal: appends=%d batches=%d fsyncs=%d bytes=%d snapshots=%d durable-records=%d\n",
 		res.Wal.Appends, res.Wal.Batches, res.Wal.Fsyncs, res.Wal.Bytes, res.Wal.Snapshots, res.Wal.DurableRecords)
+	if col := res.Trace; col != nil {
+		counts := col.Counts()
+		fmt.Printf("  trace: %d events (%d wal-seals, %d fsyncs, %d frames), %d dropped\n",
+			len(col.Events()), counts[txtrace.EvWalSeal], counts[txtrace.EvWalFsync],
+			counts[txtrace.EvFrame], col.Dropped())
+		if traceFile != nil {
+			if err := col.WriteChromeTrace(traceFile); err != nil {
+				fatalf("durable: writing %s: %v", traceFile.Name(), err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatalf("durable: closing %s: %v", traceFile.Name(), err)
+			}
+			fmt.Printf("  chrome trace written to %s (open in ui.perfetto.dev)\n", traceFile.Name())
+		}
+	}
 }

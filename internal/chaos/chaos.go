@@ -190,6 +190,11 @@ func (in *Injector) Reset() {
 	in.disabled.Store(false)
 }
 
+// OnBegin implements stm.Probe (no-op: faults fire inside opens, where
+// they hit speculative state; an attempt that has opened nothing yet has
+// nothing to damage).
+func (in *Injector) OnBegin(*stm.Tx) {}
+
 // OnOpen implements stm.Probe: delays, stalls and spurious aborts at the
 // start of an open.
 func (in *Injector) OnOpen(tx *stm.Tx) {

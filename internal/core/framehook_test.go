@@ -77,6 +77,46 @@ func TestFrameHookConcurrentAdvances(t *testing.T) {
 	}
 }
 
+// TestAddFrameHookComposes: AddFrameHook must preserve an already
+// installed hook (the WAL's group-commit barrier) and run the new one
+// after it — the sharing contract the flight recorder depends on.
+func TestAddFrameHookComposes(t *testing.T) {
+	m := NewManager(Config{M: 2, N: 10})
+	var order []string
+	m.SetFrameHook(func(int64) { order = append(order, "wal") })
+	m.AddFrameHook(func(int64) { order = append(order, "trace") })
+	m.clock.onAdvance(1)
+	if len(order) != 2 || order[0] != "wal" || order[1] != "trace" {
+		t.Fatalf("hook order = %v, want [wal trace]", order)
+	}
+}
+
+// TestAddFrameHookOnEmptySlot: with nothing installed, AddFrameHook
+// behaves exactly like SetFrameHook (no nil-call wrapper).
+func TestAddFrameHookOnEmptySlot(t *testing.T) {
+	m := NewManager(Config{M: 2, N: 10})
+	var frames []int64
+	m.AddFrameHook(func(frame int64) { frames = append(frames, frame) })
+	m.clock.onAdvance(7)
+	if len(frames) != 1 || frames[0] != 7 {
+		t.Fatalf("frames = %v, want [7]", frames)
+	}
+}
+
+// TestAddFrameHookChains: composition nests — three consumers fire in
+// installation order.
+func TestAddFrameHookChains(t *testing.T) {
+	m := NewManager(Config{M: 2, N: 10})
+	var order []string
+	m.AddFrameHook(func(int64) { order = append(order, "a") })
+	m.AddFrameHook(func(int64) { order = append(order, "b") })
+	m.AddFrameHook(func(int64) { order = append(order, "c") })
+	m.clock.onAdvance(1)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("hook order = %v, want [a b c]", order)
+	}
+}
+
 // TestManagerSetFrameHook wires the hook through the public Manager
 // surface the harness uses.
 func TestManagerSetFrameHook(t *testing.T) {

@@ -127,6 +127,23 @@ func (m *Manager) CurrentFrame() int64 { return m.clock.Current() }
 // of frame order when two advances race.
 func (m *Manager) SetFrameHook(fn func(frame int64)) { m.clock.onAdvance = fn }
 
+// AddFrameHook installs fn like SetFrameHook, composing with (running
+// after) any hook already installed instead of replacing it. It is how
+// independent frame consumers — the WAL's group-commit barrier and the
+// flight recorder's frame events — share the single hook slot. Same
+// contract as SetFrameHook: install before the runtime executes
+// transactions; every hook must be fast and non-blocking.
+func (m *Manager) AddFrameHook(fn func(frame int64)) {
+	if prev := m.clock.onAdvance; prev != nil {
+		m.clock.onAdvance = func(frame int64) {
+			prev(frame)
+			fn(frame)
+		}
+		return
+	}
+	m.clock.onAdvance = fn
+}
+
 // EstimateC returns thread i's current contention estimate C_i.
 func (m *Manager) EstimateC(i int) float64 { return m.threads[i].est.value() }
 

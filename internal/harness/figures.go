@@ -89,6 +89,11 @@ type Options struct {
 	// DurableSyncs is the DurabilityFig fsync-batching sweep
 	// (default {1, 4, 16}).
 	DurableSyncs []int
+	// Trace, when non-nil, arms the transaction flight recorder on every
+	// experiment cell. With a Hub attached too, each cell's collector is
+	// installed live, so /trace/snapshot and /trace/dump follow the sweep
+	// the same way /metrics does.
+	Trace *TraceConfig
 }
 
 // defaultChaosAttempts and defaultChaosDeadline are the fallback budgets
@@ -137,6 +142,14 @@ func (o Options) chaosBudgets() (maxAttempts int, deadline time.Duration) {
 	return maxAttempts, deadline
 }
 
+// Config builds one experiment cell's Config from the sweep options — the
+// exported form for drivers outside this package (winbench's single-run
+// modes) so they inherit the same chaos/telemetry/trace wiring the figure
+// sweeps get.
+func (o Options) Config(manager string, threads int, seed uint64) Config {
+	return o.withDefaults().config(manager, threads, seed)
+}
+
 // config builds one experiment cell's Config, carrying the chaos settings
 // so every figure can be reproduced under fault load. With a Hub attached,
 // every cell gets a fresh telemetry registry and installs it as the one
@@ -156,6 +169,15 @@ func (o Options) config(manager string, threads int, seed uint64) Config {
 	if o.Hub != nil {
 		cfg.Telemetry = telemetry.NewRegistry()
 		o.Hub.Install(cfg.Telemetry)
+	}
+	if o.Trace != nil {
+		// Each cell gets its own recorder (rings size to the cell's
+		// thread count), sharing the sweep-wide sampling/hub settings.
+		tc := *o.Trace
+		if tc.Hub == nil {
+			tc.Hub = o.Hub
+		}
+		cfg.Trace = &tc
 	}
 	return cfg
 }

@@ -18,6 +18,7 @@ import (
 	"wincm/internal/metrics"
 	"wincm/internal/stm"
 	"wincm/internal/telemetry"
+	"wincm/internal/txtrace"
 	"wincm/internal/wal"
 )
 
@@ -88,6 +89,10 @@ type Config struct {
 	// advances. If the log holds prior state, the workload must implement
 	// DurableWorkload so it can be recovered into.
 	Durable *DurableConfig
+	// Trace, when non-nil, arms the transaction flight recorder for this
+	// run; Result.Trace then holds the collector with the retained event
+	// window. nil keeps tracing fully off (the hot path pays nothing).
+	Trace *TraceConfig
 }
 
 // watched reports whether the run needs a progress watchdog: any fault
@@ -159,20 +164,26 @@ type Result struct {
 	Durable  bool
 	Wal      wal.Stats
 	Recovery wal.RecoveryInfo
+	// Trace is the flight-recorder collector holding the run's retained
+	// event window, present when Config.Trace was set. The rings are
+	// fully drained by the time the run returns.
+	Trace *txtrace.Collector
 }
 
 // instruments bundles one run's observability plumbing: the fault
 // injector, the progress watchdog, the telemetry transaction stats the
 // worker loops record into, and the interval sampler.
 type instruments struct {
-	inj     *chaos.Injector
-	wd      *stm.Watchdog
-	tx      *telemetry.TxStats
-	sampler *telemetry.Sampler
-	log     *wal.Log
-	rinfo   wal.RecoveryInfo
-	snapCh  chan struct{} // closed to stop the snapshot ticker
-	snapWG  sync.WaitGroup
+	inj       *chaos.Injector
+	wd        *stm.Watchdog
+	tx        *telemetry.TxStats
+	sampler   *telemetry.Sampler
+	log       *wal.Log
+	rinfo     wal.RecoveryInfo
+	snapCh    chan struct{} // closed to stop the snapshot ticker
+	snapWG    sync.WaitGroup
+	collector *txtrace.Collector
+	traceStop func() // stops the trace poller (nil when tracing is off)
 }
 
 // record folds one committed transaction into the telemetry layer (the
@@ -206,6 +217,21 @@ func (c Config) instrument(mgr stm.ContentionManager, w Workload) (*stm.Runtime,
 			registerChaosGauges(reg, inj)
 		}
 	}
+	var rec *txtrace.Recorder
+	if tc := c.Trace; tc != nil {
+		// The recorder chains last so it observes the schedule the runtime
+		// actually executes — including chaos-perturbed decisions.
+		rec = txtrace.NewRecorder(c.Threads, tc.Sample, tc.RingCap)
+		probe = stm.CombineProbes(probe, rec)
+		ins.collector = txtrace.NewCollector(rec, tc.Keep)
+		if wm, ok := mgr.(*core.Manager); ok {
+			wm.AddFrameHook(rec.FrameAdvanced)
+		}
+		if tc.Hub != nil {
+			tc.Hub.InstallTrace(ins.collector)
+		}
+		ins.traceStop = startTracePoller(ins.collector, tc.PollEvery)
+	}
 	if probe != nil {
 		opts = append(opts, stm.WithProbe(probe))
 	}
@@ -215,6 +241,17 @@ func (c Config) instrument(mgr stm.ContentionManager, w Workload) (*stm.Runtime,
 			return nil, nil, err
 		}
 		wopt := wal.Options{FS: fs, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes}
+		// Latency histograms and the flight recorder's WAL track share
+		// the log's observer seam.
+		var histObs wal.Observer
+		if reg := c.Telemetry; reg != nil {
+			histObs = newWalHistObserver(reg)
+		}
+		var recObs wal.Observer
+		if rec != nil {
+			recObs = rec
+		}
+		wopt.Observer = combineWalObservers(histObs, recObs)
 		// A durable workload recovers prior state; anything else may only
 		// run against a fresh directory (nil callbacks make wal.Open fail
 		// if state exists, rather than silently dropping it).
@@ -234,7 +271,7 @@ func (c Config) instrument(mgr stm.ContentionManager, w Workload) (*stm.Runtime,
 		// the frame boundary); classic managers rely on the log's linger
 		// timer.
 		if wm, ok := mgr.(*core.Manager); ok {
-			wm.SetFrameHook(log.Advance)
+			wm.AddFrameHook(log.Advance)
 		}
 		if reg := c.Telemetry; reg != nil {
 			registerWalGauges(reg, log)
@@ -361,6 +398,12 @@ func (c Config) finish(res *Result, ins *instruments, w Workload) error {
 		res.Durable = true
 		res.Wal = log.Stats()
 		res.Recovery = ins.rinfo
+	}
+	if ins.traceStop != nil {
+		// Stops the poller and performs the final drain, so the collector
+		// holds every published event once the run returns.
+		ins.traceStop()
+		res.Trace = ins.collector
 	}
 	if err := w.Verify(); err != nil {
 		return fmt.Errorf("harness: %s under %s failed verification: %w", w.Name(), c.Manager, err)

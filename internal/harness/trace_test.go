@@ -1,0 +1,144 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wincm/internal/bench"
+	"wincm/internal/chaos"
+	"wincm/internal/harness"
+	"wincm/internal/telemetry"
+	"wincm/internal/txtrace"
+)
+
+// TestRunWithTraceRecorder: Config.Trace arms the flight recorder for a
+// run and Result.Trace carries its collector, fully drained.
+func TestRunWithTraceRecorder(t *testing.T) {
+	w, err := harness.NewWorkload("list", bench.Mix{UpdatePct: 100, KeyRange: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub()
+	cfg := harness.Config{
+		Manager: "online-dynamic", Threads: 4, WindowN: 10, Seed: 1,
+		Trace: &harness.TraceConfig{Sample: 1, Hub: hub},
+	}
+	res, err := harness.RunTimed(cfg, w, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Result.Trace nil despite Config.Trace")
+	}
+	counts := res.Trace.Counts()
+	if counts[txtrace.EvBegin] == 0 || counts[txtrace.EvCommit] == 0 {
+		t.Errorf("trace counts = %v, want begins and commits", counts)
+	}
+	// The recorder saw the run the runtime executed: every committed
+	// transaction that was sampled produced a commit event; at 1-in-1
+	// sampling the commit-entry events can't undercount commits by more
+	// than the ring drops.
+	if uint64(counts[txtrace.EvCommit])+res.Trace.Dropped() < uint64(res.Commits) {
+		t.Errorf("commit events %d + dropped %d < run commits %d",
+			counts[txtrace.EvCommit], res.Trace.Dropped(), res.Commits)
+	}
+	// A window manager's frame clock feeds the trace.
+	if counts[txtrace.EvFrame] == 0 {
+		t.Error("no frame events from a window-based manager")
+	}
+	// The hub got the collector installed for /trace endpoints.
+	if hub.TraceSource() == nil {
+		t.Error("hub has no trace source installed")
+	}
+	// The snapshot serializes.
+	var buf bytes.Buffer
+	if err := res.Trace.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("snapshot JSON invalid")
+	}
+}
+
+// TestTraceOffLeavesResultNil: without Config.Trace nothing is recorded
+// and Result.Trace stays nil (the off state costs nothing and leaks
+// nothing).
+func TestTraceOffLeavesResultNil(t *testing.T) {
+	w, err := harness.NewWorkload("list", bench.Mix{UpdatePct: 100, KeyRange: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.Config{Manager: "polka", Threads: 2, Seed: 1}
+	res, err := harness.RunTimed(cfg, w, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("Result.Trace set without Config.Trace")
+	}
+}
+
+// TestDurableRunFeedsTraceAndHistograms: a durable traced run records WAL
+// seal/fsync events on the recorder's aux track and fills the WAL latency
+// histograms in the telemetry registry.
+func TestDurableRunFeedsTraceAndHistograms(t *testing.T) {
+	w := harness.NewDurableMap(2, 64)
+	reg := telemetry.NewRegistry()
+	cfg := harness.Config{
+		Manager: "adaptive-improved-dynamic", Threads: 2, WindowN: 10, Seed: 1,
+		Telemetry: reg,
+		Durable:   &harness.DurableConfig{FS: chaos.NewDisk(1), SyncEvery: 1},
+		Trace:     &harness.TraceConfig{Sample: 1, PollEvery: 2 * time.Millisecond},
+	}
+	res, err := harness.RunTimed(cfg, w, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace collector on a traced durable run")
+	}
+	counts := res.Trace.Counts()
+	if counts[txtrace.EvWalSeal] == 0 || counts[txtrace.EvWalFsync] == 0 {
+		t.Errorf("trace counts = %v, want wal-seal and wal-fsync events", counts)
+	}
+	// Every sealed batch the WAL counted appears on the trace, up to
+	// counted ring drops: exact when nothing dropped, never in excess.
+	seals := int64(counts[txtrace.EvWalSeal])
+	if seals > res.Wal.Batches {
+		t.Errorf("wal-seal events %d exceed wal batches %d", seals, res.Wal.Batches)
+	}
+	if res.Trace.Dropped() == 0 && seals != res.Wal.Batches {
+		t.Errorf("drop-free trace has %d wal-seal events, wal sealed %d batches", seals, res.Wal.Batches)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	for _, name := range []string{"wincm_wal_fsync_ns", "wincm_wal_batch_txs"} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("registry missing %s:\n%s", name, metrics)
+		}
+	}
+}
+
+// TestFiguresOptionsCarryTrace: Options.Trace flows into each cell's
+// Config (with the sweep Hub as the default trace hub).
+func TestFiguresOptionsCarryTrace(t *testing.T) {
+	o := harness.Options{
+		Threads: []int{2}, Duration: 20 * time.Millisecond, Reps: 1,
+		WindowN: 10, Seed: 3,
+		Trace: &harness.TraceConfig{Sample: 8},
+	}
+	cfg := o.Config("polka", 2, 3)
+	if cfg.Trace == nil {
+		t.Fatal("cell Config lost Options.Trace")
+	}
+	if cfg.Trace.Sample != 8 {
+		t.Errorf("cell trace sample = %d, want 8", cfg.Trace.Sample)
+	}
+}

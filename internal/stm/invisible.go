@@ -80,6 +80,7 @@ func settled[T any](tx *Tx, v *TVar[T], attempt *int) (val T, ver uint64, own bo
 func readInvisible[T any](tx *Tx, v *TVar[T]) T {
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
+		tx.openVar = v.token()
 		p.OnOpen(tx)
 	}
 	attempt := 0

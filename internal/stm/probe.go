@@ -20,6 +20,11 @@ import "time"
 // serialized-fallback token (see FallbackResolve) or it voids the runtime's
 // progress guarantee.
 type Probe interface {
+	// OnBegin runs at the start of every attempt, right after the
+	// contention manager's Begin hook and before the first open. Trace
+	// recorders use it to stamp the attempt's start; it is never skipped
+	// (unlike OnOpen/OnAcquire there is only one call per attempt).
+	OnBegin(tx *Tx)
 	// OnOpen runs at the start of every transactional open (read or
 	// write), before any conflict is resolved.
 	OnOpen(tx *Tx)
@@ -91,6 +96,12 @@ func CombineProbes(a, b Probe) Probe {
 // both halves are.
 func (p probeChain) NoOpenHooks() bool {
 	return probeNoOpenHooks(p.first) && probeNoOpenHooks(p.second)
+}
+
+// OnBegin implements Probe.
+func (p probeChain) OnBegin(tx *Tx) {
+	p.first.OnBegin(tx)
+	p.second.OnBegin(tx)
 }
 
 // OnOpen implements Probe.

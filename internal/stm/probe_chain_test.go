@@ -12,6 +12,7 @@ type recProbe struct {
 	rewrite func(Decision, time.Duration) (Decision, time.Duration)
 }
 
+func (p *recProbe) OnBegin(*Tx)   { *p.log = append(*p.log, p.name+".begin") }
 func (p *recProbe) OnOpen(*Tx)    { *p.log = append(*p.log, p.name+".open") }
 func (p *recProbe) OnAcquire(*Tx) { *p.log = append(*p.log, p.name+".acquire") }
 func (p *recProbe) OnCommit(*Tx)  { *p.log = append(*p.log, p.name+".commit") }

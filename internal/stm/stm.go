@@ -178,6 +178,11 @@ type Tx struct {
 	// poolOn caches the runtime's locator-pooling gate for the attempt
 	// (poolOf reads it on every write-path operation).
 	poolOn bool
+	// openVar is the opaque identity of the variable the current open
+	// operation targets, for conflict attribution by probes (see
+	// OpenedVar). Written only when openProbe is installed, so the
+	// no-probe hot path never touches it. Owner-thread-only.
+	openVar uint64
 	writes []container
 	vreads []vread
 	// intents and stageBuf hold the durable write-set entries staged via
@@ -225,6 +230,15 @@ func (tx *Tx) LocatorPoolMisses() int { return tx.locPoolMisses }
 // reclamation epoch while sealing retire batches. Owner-thread-only;
 // survives cleanup.
 func (tx *Tx) EpochAdvances() int { return tx.epochAdvances }
+
+// OpenedVar returns an opaque identity token for the variable the current
+// open operation targets — the TVar a conflict discovered during this open
+// is over. It is populated only while a probe with live open hooks is
+// installed (the same gate as OnOpen), and is meaningful only inside probe
+// callbacks that run during an open: PerturbResolve and OnAcquire. The
+// token is stable for the life of the variable and is never dereferenced;
+// probes use it purely as a map key for per-variable attribution.
+func (tx *Tx) OpenedVar() uint64 { return tx.openVar }
 
 // Status returns the current status of this attempt.
 func (tx *Tx) Status() Status { return StatusOf(tx.status.Load()) }
@@ -515,6 +529,9 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		d.AttemptStart = now()
 		info.Attempts++
 		cm.Begin(tx)
+		if p := rt.probe; p != nil {
+			p.OnBegin(tx)
+		}
 		committed := runAttempt(tx, fn)
 		end := now()
 		if committed {

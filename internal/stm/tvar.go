@@ -254,6 +254,7 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 	}
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
+		tx.openVar = v.token()
 		p.OnOpen(tx)
 	}
 	// Stamp the registration before the first locator load: every value
@@ -298,6 +299,7 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 func Write[T any](tx *Tx, v *TVar[T], val T) {
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
+		tx.openVar = v.token()
 		p.OnOpen(tx)
 	}
 	pool := poolOf[T](tx, v)
@@ -416,6 +418,7 @@ func ModifyArg[T, A any](tx *Tx, v *TVar[T], arg A, f func(T, A) T) {
 	}
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
+		tx.openVar = v.token()
 		p.OnOpen(tx)
 	}
 	pool := poolOf[T](tx, v)

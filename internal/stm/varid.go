@@ -1,0 +1,14 @@
+package stm
+
+import "unsafe"
+
+// token returns a stable opaque identity for v, recorded in Tx.openVar so
+// trace probes can attribute a conflict to the variable it was discovered
+// over. The pointer's bit pattern is the token: unique for the life of the
+// variable, free to compute, and never dereferenced — the cold side of a
+// trace recorder uses it purely as a map key. (Tokens may be reused after
+// a variable becomes garbage; traces are windows, not archives, so a
+// recycled token at worst merges two short-lived variables' tallies.)
+func (v *TVar[T]) token() uint64 {
+	return uint64(uintptr(unsafe.Pointer(v)))
+}

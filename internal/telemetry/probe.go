@@ -100,6 +100,9 @@ func (p *Probe) foldAttempt(shard int, tx *stm.Tx) {
 // per-open dispatch entirely, so long traversals pay nothing per open.
 func (p *Probe) NoOpenHooks() bool { return true }
 
+// OnBegin implements stm.Probe (no-op; attempts fold in at attempt end).
+func (p *Probe) OnBegin(*stm.Tx) {}
+
 // OnOpen implements stm.Probe (no-op; opens fold in at attempt end).
 func (p *Probe) OnOpen(*stm.Tx) {}
 

@@ -1,0 +1,78 @@
+package telemetry_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wincm/internal/telemetry"
+)
+
+// fakeTraceSource satisfies telemetry.TraceSource with canned payloads.
+type fakeTraceSource struct {
+	snapshot, dump string
+}
+
+func (f *fakeTraceSource) WriteSnapshot(w io.Writer) error {
+	_, err := io.WriteString(w, f.snapshot)
+	return err
+}
+
+func (f *fakeTraceSource) WriteChromeTrace(w io.Writer) error {
+	_, err := io.WriteString(w, f.dump)
+	return err
+}
+
+func TestTraceEndpointsWithoutSource(t *testing.T) {
+	hub := telemetry.NewHub()
+	srv := httptest.NewServer(telemetry.Handler(hub))
+	defer srv.Close()
+
+	for _, path := range []string{"/trace/snapshot", "/trace/dump"} {
+		code, body, _ := get(t, srv, path)
+		if code != http.StatusNotFound {
+			t.Errorf("%s without a source: status = %d, want 404", path, code)
+		}
+		if !strings.Contains(body, "no trace source") {
+			t.Errorf("%s error body = %q", path, body)
+		}
+	}
+}
+
+func TestTraceEndpointsServeSource(t *testing.T) {
+	hub := telemetry.NewHub()
+	src := &fakeTraceSource{snapshot: `{"events":{}}`, dump: `{"traceEvents":[]}`}
+	hub.InstallTrace(src)
+	srv := httptest.NewServer(telemetry.Handler(hub))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/trace/snapshot")
+	if code != http.StatusOK || body != src.snapshot {
+		t.Errorf("/trace/snapshot = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("snapshot Content-Type = %q", ct)
+	}
+
+	code, body, hdr = get(t, srv, "/trace/dump")
+	if code != http.StatusOK || body != src.dump {
+		t.Errorf("/trace/dump = %d %q", code, body)
+	}
+	if cd := hdr.Get("Content-Disposition"); !strings.Contains(cd, "wincm-trace.json") {
+		t.Errorf("dump Content-Disposition = %q", cd)
+	}
+
+	// The index advertises the endpoints.
+	_, body, _ = get(t, srv, "/")
+	if !strings.Contains(body, "/trace/snapshot") {
+		t.Errorf("index does not list the trace endpoints: %q", body)
+	}
+
+	// Uninstall restores 404.
+	hub.InstallTrace(nil)
+	if code, _, _ := get(t, srv, "/trace/snapshot"); code != http.StatusNotFound {
+		t.Errorf("uninstalled source still serves: %d", code)
+	}
+}

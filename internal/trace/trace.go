@@ -8,17 +8,27 @@
 //	rt := stm.New(m, tr)
 //	... run ...
 //	tr.WriteCSV(f)
+//
+// Since the flight recorder landed (wincm/internal/txtrace) this package
+// is a thin historical facade over its machinery: events go through the
+// recorder's per-thread lock-free rings instead of a global mutex, so a
+// traced run no longer serializes every Resolve call across threads. The
+// mutex that remains guards only the cold buffer, and the hot path takes
+// it at most once per 1024 events per thread — and only by TryLock, so
+// recording never blocks on it. For new code prefer txtrace directly
+// (sampling, conflict graphs, heatmaps, Perfetto export); this wrapper
+// stays for the established CSV/ASCII workflow and records every event of
+// every transaction.
 package trace
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wincm/internal/stm"
+	"wincm/internal/txtrace"
 )
 
 // EventKind labels one recorded event.
@@ -51,6 +61,22 @@ func (k EventKind) String() string {
 	}
 }
 
+// kindOf maps a recorder event kind to this package's event kinds.
+func kindOf(k txtrace.Kind) (EventKind, bool) {
+	switch k {
+	case txtrace.EvBegin:
+		return Begin, true
+	case txtrace.EvCommit:
+		return Commit, true
+	case txtrace.EvAbort:
+		return Abort, true
+	case txtrace.EvConflict:
+		return Conflict, true
+	default:
+		return 0, false
+	}
+}
+
 // Event is one recorded occurrence.
 type Event struct {
 	// At is the time since the tracer was created.
@@ -67,28 +93,60 @@ type Event struct {
 	Decision stm.Decision
 }
 
+// PairCount is one (attacker, enemy) conflict tally.
+type PairCount = txtrace.PairCount
+
 // DefaultCap is the event capacity Wrap installs: enough for several
 // seconds of a contended run, small enough that a forgotten tracer
 // cannot exhaust memory on a long one.
 const DefaultCap = 1 << 20
 
+// Hot-path tuning: each thread's ring holds hotRingCap events, and every
+// drainEvery pushes the recording thread TryLocks the cold buffer and
+// drains all rings. 16 drain opportunities fit between a ring filling and
+// overflowing, so events only drop (counted) if the cold mutex stays
+// contended across all of them.
+const (
+	hotRingCap = 1 << 14
+	drainEvery = 1 << 10
+
+	// maxThreads bounds the per-thread slot table; stm.New itself caps
+	// runtimes below this (its reader-stamp encoding holds 255 threads).
+	maxThreads = 256
+)
+
+// threadRec is one thread's hot recording state: an SPSC ring shared with
+// the cold drains, plus an owner-thread-only push counter that paces the
+// amortized drain trigger.
+type threadRec struct {
+	ring   *txtrace.Ring
+	pushes uint64
+	_      [104]byte
+}
+
 // Manager wraps an inner contention manager and records its lifecycle.
-// Recording is mutex-serialized; wrap only for debugging and analysis
-// runs, not for throughput measurements.
 //
-// Storage is a bounded ring: once the capacity is reached each new
+// Recording is per-thread and lock-free (see the package comment); the
+// exported accessors drain and serialize behind a mutex, so they are safe
+// to call while the workload runs.
+//
+// Storage is a bounded window: once the capacity is reached each new
 // event evicts the oldest one and Dropped is incremented, so a tracer
 // left on a long run keeps the most recent window instead of growing
 // without bound.
 type Manager struct {
 	inner stm.ContentionManager
-	start time.Time
+	start int64 // stm.Now at creation; event timestamps are relative to it
 	cap   int
 
+	threads [maxThreads]atomic.Pointer[threadRec]
+
 	mu      sync.Mutex
-	events  []Event
-	head    int // index of the oldest event once the ring is full
-	dropped int64
+	events  []txtrace.Event // cold window, relative timestamps
+	scratch []txtrace.Event // drain scratch, reused (guarded by mu)
+	head    int             // index of the oldest event once the window is full
+	dropped int64           // cold evictions
+	hotBase uint64          // ring-side drop count at the last Reset
 }
 
 var _ stm.ContentionManager = (*Manager)(nil)
@@ -102,41 +160,96 @@ func Wrap(inner stm.ContentionManager) *Manager {
 // WrapCap returns a tracing manager around inner holding at most cap
 // events; the oldest are evicted first. cap <= 0 means unbounded.
 func WrapCap(inner stm.ContentionManager, cap int) *Manager {
-	return &Manager{inner: inner, start: time.Now(), cap: cap}
+	return &Manager{inner: inner, start: stm.Now(), cap: cap}
 }
 
-// record appends one event, evicting the oldest at capacity.
-func (m *Manager) record(e Event) {
-	e.At = time.Since(m.start)
-	m.mu.Lock()
-	if m.cap > 0 && len(m.events) >= m.cap {
-		m.events[m.head] = e
-		m.head++
-		if m.head == len(m.events) {
-			m.head = 0
-		}
-		m.dropped++
-	} else {
-		m.events = append(m.events, e)
+// rec returns (creating on first use) the calling thread's hot state.
+func (m *Manager) rec(tid int) *threadRec {
+	if tid < 0 || tid >= maxThreads {
+		return nil
 	}
-	m.mu.Unlock()
+	if r := m.threads[tid].Load(); r != nil {
+		return r
+	}
+	r := &threadRec{ring: txtrace.NewRing(hotRingCap)}
+	// Only this thread's hooks store slot tid; the CAS guards against a
+	// racing cold-side reader at most.
+	if !m.threads[tid].CompareAndSwap(nil, r) {
+		r = m.threads[tid].Load()
+	}
+	return r
+}
+
+// record pushes one event onto the caller's ring and occasionally drains.
+func (m *Manager) record(tid int, e txtrace.Event) {
+	r := m.rec(tid)
+	if r == nil {
+		return
+	}
+	e.TS = stm.Now() - m.start
+	r.ring.Push(e)
+	r.pushes++
+	if r.pushes%drainEvery == 0 && m.mu.TryLock() {
+		m.drainLocked()
+		m.mu.Unlock()
+	}
+}
+
+// drainLocked moves every published hot event into the cold window,
+// applying the evict-oldest capacity. Caller holds mu.
+func (m *Manager) drainLocked() {
+	for i := range m.threads {
+		r := m.threads[i].Load()
+		if r == nil {
+			continue
+		}
+		if m.cap <= 0 {
+			m.events = r.ring.Drain(m.events)
+			continue
+		}
+		m.scratch = r.ring.Drain(m.scratch[:0])
+		for _, e := range m.scratch {
+			if len(m.events) >= m.cap {
+				m.events[m.head] = e
+				m.head++
+				if m.head == len(m.events) {
+					m.head = 0
+				}
+				m.dropped++
+			} else {
+				m.events = append(m.events, e)
+			}
+		}
+	}
 }
 
 // Begin implements stm.ContentionManager.
 func (m *Manager) Begin(tx *stm.Tx) {
-	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Begin, Enemy: -1})
+	m.record(tx.D.ThreadID, txtrace.Event{
+		A:   tx.D.ID.Load(),
+		Seq: int32(tx.D.Seq), Attempt: int32(tx.D.Attempts),
+		Thread: int16(tx.D.ThreadID), Enemy: -1, Kind: txtrace.EvBegin,
+	})
 	m.inner.Begin(tx)
 }
 
 // Committed implements stm.ContentionManager.
 func (m *Manager) Committed(tx *stm.Tx) {
-	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Commit, Enemy: -1})
+	m.record(tx.D.ThreadID, txtrace.Event{
+		A:   tx.D.ID.Load(),
+		Seq: int32(tx.D.Seq), Attempt: int32(tx.D.Attempts),
+		Thread: int16(tx.D.ThreadID), Enemy: -1, Kind: txtrace.EvCommit,
+	})
 	m.inner.Committed(tx)
 }
 
 // Aborted implements stm.ContentionManager.
 func (m *Manager) Aborted(tx *stm.Tx) {
-	m.record(Event{Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts, Kind: Abort, Enemy: -1})
+	m.record(tx.D.ThreadID, txtrace.Event{
+		A:   tx.D.ID.Load(),
+		Seq: int32(tx.D.Seq), Attempt: int32(tx.D.Attempts),
+		Thread: int16(tx.D.ThreadID), Enemy: -1, Kind: txtrace.EvAbort,
+	})
 	m.inner.Aborted(tx)
 }
 
@@ -146,158 +259,114 @@ func (m *Manager) Opened(tx *stm.Tx) { m.inner.Opened(tx) }
 // Resolve implements stm.ContentionManager.
 func (m *Manager) Resolve(tx, enemy *stm.Tx, kind stm.Kind, attempt int) (stm.Decision, time.Duration) {
 	dec, wait := m.inner.Resolve(tx, enemy, kind, attempt)
-	m.record(Event{
-		Thread: tx.D.ThreadID, Seq: tx.D.Seq, Attempt: tx.D.Attempts,
-		Kind: Conflict, Enemy: enemy.D.ThreadID, Decision: dec,
+	m.record(tx.D.ThreadID, txtrace.Event{
+		A: enemy.D.ID.Load(),
+		Seq: int32(tx.D.Seq), Attempt: int32(tx.D.Attempts),
+		Thread: int16(tx.D.ThreadID), Enemy: int16(enemy.D.ThreadID),
+		Kind: txtrace.EvConflict, Verdict: uint8(dec) + 1,
 	})
 	return dec, wait
 }
 
-// Events returns a copy of everything retained, oldest first.
-func (m *Manager) Events() []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Event, 0, len(m.events))
-	out = append(out, m.events[m.head:]...)
-	return append(out, m.events[:m.head]...)
+// hotDropped sums the ring-side drop counters.
+func (m *Manager) hotDropped() uint64 {
+	var n uint64
+	for i := range m.threads {
+		if r := m.threads[i].Load(); r != nil {
+			n += r.ring.Dropped()
+		}
+	}
+	return n
 }
 
-// Dropped reports how many events were evicted to respect the capacity.
+// window returns the cold window oldest-first (drain order). Caller holds
+// mu and must not retain the slices past unlock.
+func (m *Manager) windowLocked() ([]txtrace.Event, []txtrace.Event) {
+	return m.events[m.head:], m.events[:m.head]
+}
+
+// snapshot drains and copies the retained window in global time order.
+func (m *Manager) snapshot() []txtrace.Event {
+	m.mu.Lock()
+	m.drainLocked()
+	a, b := m.windowLocked()
+	out := make([]txtrace.Event, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	m.mu.Unlock()
+	txtrace.SortByTime(out)
+	return out
+}
+
+// Events returns a copy of everything retained, oldest first.
+func (m *Manager) Events() []Event {
+	evs := m.snapshot()
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		k, ok := kindOf(e.Kind)
+		if !ok {
+			continue
+		}
+		ev := Event{
+			At:     time.Duration(e.TS),
+			Thread: int(e.Thread), Seq: int(e.Seq), Attempt: int(e.Attempt),
+			Kind: k, Enemy: int(e.Enemy),
+		}
+		if d, has := e.Decision(); has {
+			ev.Decision = d
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Dropped reports how many events were evicted to respect the capacity
+// (plus any the hot rings had to reject, which a sanely-polled tracer
+// never sees).
 func (m *Manager) Dropped() int64 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dropped
+	m.drainLocked()
+	n := m.dropped + int64(m.hotDropped()-m.hotBase)
+	m.mu.Unlock()
+	return n
 }
 
 // Reset discards recorded events and the dropped count.
 func (m *Manager) Reset() {
 	m.mu.Lock()
+	m.drainLocked() // consume published hot events so they don't resurface
 	m.events = m.events[:0]
 	m.head = 0
 	m.dropped = 0
+	m.hotBase = m.hotDropped()
 	m.mu.Unlock()
 }
 
 // Counts returns the number of events per kind.
 func (m *Manager) Counts() map[EventKind]int {
 	out := map[EventKind]int{}
-	m.mu.Lock()
-	for _, e := range m.events {
-		out[e.Kind]++
+	for _, e := range m.snapshot() {
+		if k, ok := kindOf(e.Kind); ok {
+			out[k]++
+		}
 	}
-	m.mu.Unlock()
 	return out
 }
 
 // WriteCSV exports the events as CSV with a header row.
 func (m *Manager) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "at_ns,thread,seq,attempt,kind,enemy,decision"); err != nil {
-		return err
-	}
-	for _, e := range m.Events() {
-		dec := ""
-		if e.Kind == Conflict {
-			dec = e.Decision.String()
-		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%d,%s\n",
-			e.At.Nanoseconds(), e.Thread, e.Seq, e.Attempt, e.Kind, e.Enemy, dec); err != nil {
-			return err
-		}
-	}
-	return nil
+	return txtrace.WriteCSV(w, m.snapshot())
 }
 
 // Timeline renders an ASCII chart: one row per thread, one column per
-// time bucket; each cell shows what dominated the bucket — commits (•),
+// time bucket; each cell shows what dominated the bucket — commits (*),
 // aborts (x), conflicts (~) or nothing (space).
 func (m *Manager) Timeline(w io.Writer, buckets int) error {
-	events := m.Events()
-	if len(events) == 0 || buckets <= 0 {
-		_, err := fmt.Fprintln(w, "(no events)")
-		return err
-	}
-	maxAt := time.Duration(0)
-	maxThread := 0
-	for _, e := range events {
-		if e.At > maxAt {
-			maxAt = e.At
-		}
-		if e.Thread > maxThread {
-			maxThread = e.Thread
-		}
-	}
-	span := maxAt + 1
-	type cellCount struct{ commits, aborts, conflicts int }
-	grid := make([][]cellCount, maxThread+1)
-	for i := range grid {
-		grid[i] = make([]cellCount, buckets)
-	}
-	for _, e := range events {
-		b := int(int64(e.At) * int64(buckets) / int64(span))
-		if b >= buckets {
-			b = buckets - 1
-		}
-		c := &grid[e.Thread][b]
-		switch e.Kind {
-		case Commit:
-			c.commits++
-		case Abort:
-			c.aborts++
-		case Conflict:
-			c.conflicts++
-		}
-	}
-	for th := range grid {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "T%02d |", th)
-		for _, c := range grid[th] {
-			switch {
-			case c.aborts > c.commits:
-				sb.WriteByte('x')
-			case c.commits > 0:
-				sb.WriteByte('*')
-			case c.conflicts > 0:
-				sb.WriteByte('~')
-			default:
-				sb.WriteByte(' ')
-			}
-		}
-		sb.WriteByte('|')
-		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
-			return err
-		}
-	}
-	return nil
+	return txtrace.Timeline(w, m.snapshot(), buckets)
 }
 
 // AbortsByPair aggregates conflicts by (attacker, enemy) thread pair,
 // most frequent first — a quick view of who fights whom.
 func (m *Manager) AbortsByPair() []PairCount {
-	counts := map[[2]int]int{}
-	m.mu.Lock()
-	for _, e := range m.events {
-		if e.Kind == Conflict {
-			counts[[2]int{e.Thread, e.Enemy}]++
-		}
-	}
-	m.mu.Unlock()
-	out := make([]PairCount, 0, len(counts))
-	for pair, n := range counts {
-		out = append(out, PairCount{Attacker: pair[0], Enemy: pair[1], Conflicts: n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Conflicts != out[j].Conflicts {
-			return out[i].Conflicts > out[j].Conflicts
-		}
-		if out[i].Attacker != out[j].Attacker {
-			return out[i].Attacker < out[j].Attacker
-		}
-		return out[i].Enemy < out[j].Enemy
-	})
-	return out
-}
-
-// PairCount is one (attacker, enemy) conflict tally.
-type PairCount struct {
-	Attacker, Enemy, Conflicts int
+	return txtrace.PairCounts(m.snapshot())
 }

@@ -1,0 +1,203 @@
+package txtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON ("JSON Object Format"), the format Perfetto and
+// chrome://tracing load. One process, one track per STM thread plus two
+// synthetic tracks for frame and WAL activity; each attempt renders as a
+// complete ("X") span named by its outcome, each conflict as an instant
+// plus a flow arrow ("s" → "f") from the attacker's span to the enemy's
+// track, frame advances and WAL seals/fsyncs as instants. Timestamps are
+// microseconds as the format requires; sub-µs precision survives as
+// fractional values.
+
+// chromeEvent is one trace-event record. Fields follow the format's
+// short names; zero-valued optionals are omitted.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    int            `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Synthetic track IDs for events with no transaction subject. Real thread
+// tracks are 0..M-1; these sit far above them.
+const (
+	frameTID = 1000
+	walTID   = 1001
+)
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// attemptKey identifies one attempt of one logical transaction.
+type attemptKey struct {
+	thread  int16
+	seq     int32
+	attempt int32
+}
+
+// WriteChromeTrace drains the collector and writes the retained window as
+// Chrome trace-event JSON. The output loads directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	evs := c.Events()
+	trace := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	emit := func(e chromeEvent) { trace.TraceEvents = append(trace.TraceEvents, e) }
+
+	// Track metadata. Collect the thread set from the events themselves so
+	// a partial window still labels every track it references.
+	threads := map[int]bool{}
+	for _, e := range evs {
+		if e.Thread >= 0 {
+			threads[int(e.Thread)] = true
+		}
+	}
+	tids := make([]int, 0, len(threads))
+	for t := range threads {
+		tids = append(tids, t)
+	}
+	sort.Ints(tids)
+	emit(chromeEvent{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": "wincm"}})
+	for _, t := range tids {
+		emit(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: t, Args: map[string]any{"name": fmt.Sprintf("T%02d", t)}})
+	}
+	emit(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: frameTID, Args: map[string]any{"name": "frame clock"}})
+	emit(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: walTID, Args: map[string]any{"name": "wal"}})
+
+	// First pass: pair attempt begins with their outcomes. An EvCommit
+	// followed by an EvAbort on the same attempt means commit-time
+	// validation failed — the abort is the outcome.
+	type span struct {
+		begin, end int64
+		outcome    string
+		conflicts  int
+	}
+	spans := map[attemptKey]*span{}
+	order := []attemptKey{}
+	key := func(e Event) attemptKey {
+		return attemptKey{thread: e.Thread, seq: e.Seq, attempt: e.Attempt}
+	}
+	lastTS := int64(0)
+	for _, e := range evs {
+		if e.TS > lastTS {
+			lastTS = e.TS
+		}
+		switch e.Kind {
+		case EvBegin:
+			k := key(e)
+			if spans[k] == nil {
+				order = append(order, k)
+			}
+			spans[k] = &span{begin: e.TS, end: -1}
+		case EvCommit:
+			if s := spans[key(e)]; s != nil {
+				s.end, s.outcome = e.TS, "commit"
+			}
+		case EvAbort:
+			if s := spans[key(e)]; s != nil {
+				s.end, s.outcome = e.TS, "abort"
+			}
+		case EvConflict:
+			if s := spans[key(e)]; s != nil {
+				s.conflicts++
+			}
+		}
+	}
+
+	for _, k := range order {
+		s := spans[k]
+		end, outcome := s.end, s.outcome
+		if end < 0 {
+			// Attempt still in flight (or its end fell outside the
+			// window): close the span at the window edge.
+			end, outcome = lastTS, "open"
+		}
+		emit(chromeEvent{
+			Name: fmt.Sprintf("tx %d.%d/%d %s", k.thread, k.seq, k.attempt, outcome),
+			Phase: "X", Cat: "tx",
+			TS: usec(s.begin), Dur: usec(end - s.begin),
+			PID: 1, TID: int(k.thread),
+			Args: map[string]any{
+				"seq": k.seq, "attempt": k.attempt,
+				"outcome": outcome, "conflicts": s.conflicts,
+			},
+		})
+	}
+
+	// Second pass: instants and flow arrows.
+	flowID := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case EvConflict:
+			dec, _ := e.Decision()
+			args := map[string]any{
+				"enemy_thread": e.Enemy, "enemy_tx": e.A,
+				"var": fmt.Sprintf("0x%x", e.B), "verdict": dec.String(),
+			}
+			emit(chromeEvent{
+				Name: "conflict " + dec.String(), Phase: "i", Cat: "conflict",
+				TS: usec(e.TS), PID: 1, TID: int(e.Thread), Scope: "t", Args: args,
+			})
+			// Flow arrow: attacker → enemy. The start binds to the
+			// attacker's enclosing attempt span, the finish (bp:"e") to
+			// whatever span encloses the enemy's track at the same time.
+			flowID++
+			emit(chromeEvent{
+				Name: "conflict", Phase: "s", Cat: "conflict",
+				TS: usec(e.TS), PID: 1, TID: int(e.Thread), ID: flowID,
+			})
+			emit(chromeEvent{
+				Name: "conflict", Phase: "f", BP: "e", Cat: "conflict",
+				TS: usec(e.TS + 1), PID: 1, TID: int(e.Enemy), ID: flowID,
+			})
+		case EvWait:
+			// Recorded at wait entry with the requested span in A.
+			emit(chromeEvent{
+				Name: "cm-wait", Phase: "X", Cat: "wait",
+				TS: usec(e.TS), Dur: usec(int64(e.A)),
+				PID: 1, TID: int(e.Thread),
+				Args: map[string]any{"enemy_thread": e.Enemy, "var": fmt.Sprintf("0x%x", e.B)},
+			})
+		case EvFrame:
+			emit(chromeEvent{
+				Name: fmt.Sprintf("frame %d", e.A), Phase: "i", Cat: "frame",
+				TS: usec(e.TS), PID: 1, TID: frameTID, Scope: "t",
+				Args: map[string]any{"frame": e.A},
+			})
+		case EvWalSeal:
+			emit(chromeEvent{
+				Name: "wal-seal", Phase: "i", Cat: "wal",
+				TS: usec(e.TS), PID: 1, TID: walTID, Scope: "t",
+				Args: map[string]any{"batch": e.A, "txs": e.B},
+			})
+		case EvWalFsync:
+			emit(chromeEvent{
+				Name: "wal-fsync", Phase: "X", Cat: "wal",
+				TS: usec(e.TS - int64(e.A)), Dur: usec(int64(e.A)),
+				PID: 1, TID: walTID,
+				Args: map[string]any{"records": e.B},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

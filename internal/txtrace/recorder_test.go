@@ -1,0 +1,235 @@
+package txtrace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/stm"
+)
+
+// abortEnemyCM always kills the enemy — every conflict is an aborting one,
+// which makes the abort-attribution arithmetic exact.
+type abortEnemyCM struct{ stm.NopManager }
+
+func (abortEnemyCM) Resolve(_, _ *stm.Tx, _ stm.Kind, _ int) (stm.Decision, time.Duration) {
+	return stm.AbortEnemy, 0
+}
+
+// waitCM stalls the attacker briefly — exercises the EvWait path.
+type waitCM struct{ stm.NopManager }
+
+func (waitCM) Resolve(_, _ *stm.Tx, _ stm.Kind, attempt int) (stm.Decision, time.Duration) {
+	if attempt < 3 {
+		return stm.Wait, 10 * time.Microsecond
+	}
+	return stm.AbortEnemy, 0
+}
+
+func TestRecorderSamplingSticky(t *testing.T) {
+	rec := NewRecorder(1, 4, 0)
+	col := NewCollector(rec, 0)
+	rt := stm.New(1, abortEnemyCM{}, stm.WithProbe(rec))
+	v := stm.NewTVar(0)
+
+	const txs = 8
+	for i := 0; i < txs; i++ {
+		rt.Thread(0).Atomic(func(tx *stm.Tx) { stm.Write(tx, v, stm.Read(tx, v)+1) })
+	}
+	counts := col.Counts()
+	// 1-in-4 sampling draws on transactions 1 and 5 (txSeen%4 == 1): two
+	// sampled transactions, each one attempt (no contention).
+	if counts[EvBegin] != 2 || counts[EvCommit] != 2 {
+		t.Errorf("counts = %v, want 2 begins and 2 commits out of %d transactions at 1-in-4", counts, txs)
+	}
+	// Each sampled transaction opens v twice (read then write upgrade
+	// dispatches OnOpen per call) — the point is: no opens leak from
+	// unsampled transactions, so opens come only in per-tx multiples.
+	if counts[EvOpen] == 0 || counts[EvOpen]%2 != 0 {
+		t.Errorf("opens = %d, want a positive multiple of 2 (sampled txs only)", counts[EvOpen])
+	}
+	if rec.Sample() != 4 {
+		t.Errorf("Sample() = %d, want 4", rec.Sample())
+	}
+}
+
+func TestRecorderSampleOneRecordsEverything(t *testing.T) {
+	rec := NewRecorder(1, 1, 0)
+	col := NewCollector(rec, 0)
+	rt := stm.New(1, abortEnemyCM{}, stm.WithProbe(rec))
+	v := stm.NewTVar(0)
+	for i := 0; i < 5; i++ {
+		rt.Thread(0).Atomic(func(tx *stm.Tx) { stm.Write(tx, v, stm.Read(tx, v)+1) })
+	}
+	counts := col.Counts()
+	if counts[EvBegin] != 5 || counts[EvCommit] != 5 {
+		t.Errorf("counts = %v, want every one of the 5 transactions recorded", counts)
+	}
+}
+
+// TestRecorderConflictAccounting is the acceptance check: the conflict
+// graph built from a recorded run must account for every recorded
+// aborting conflict — Σ edge.Aborts == snapshot.Aborts == the count of
+// aborting conflict events in the window.
+func TestRecorderConflictAccounting(t *testing.T) {
+	const (
+		threads = 4
+		iters   = 300
+	)
+	rec := NewRecorder(threads, 1, 1<<16)
+	col := NewCollector(rec, 0)
+	rt := stm.New(threads, abortEnemyCM{}, stm.WithProbe(rec))
+	shared := stm.NewTVar(0)
+
+	var wg sync.WaitGroup
+	for ti := 0; ti < threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			th := rt.Thread(ti)
+			for i := 0; i < iters; i++ {
+				th.Atomic(func(tx *stm.Tx) { stm.Write(tx, shared, stm.Read(tx, shared)+1) })
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	if got := rt.Thread(0).Atomic(func(tx *stm.Tx) { _ = stm.Read(tx, shared) }); got.Attempts != 1 {
+		t.Fatalf("read-back transaction took %d attempts on a quiet runtime", got.Attempts)
+	}
+
+	evs := col.Events()
+	var conflicts, aborting int
+	for _, e := range evs {
+		if e.Kind == EvConflict {
+			conflicts++
+			if e.Aborting() {
+				aborting++
+			}
+			if e.Enemy < 0 || int(e.Enemy) >= threads {
+				t.Fatalf("conflict with out-of-range enemy thread %d", e.Enemy)
+			}
+			if e.B == 0 {
+				t.Fatal("conflict without a variable token")
+			}
+		}
+	}
+	if conflicts == 0 {
+		t.Skip("no conflicts observed (single-core scheduling); nothing to verify")
+	}
+	// AbortEnemy on every conflict: all of them abort someone.
+	if aborting != conflicts {
+		t.Errorf("aborting = %d, conflicts = %d; abort-enemy CM makes every conflict aborting", aborting, conflicts)
+	}
+
+	snap := col.Conflicts(0)
+	if snap.Conflicts != conflicts || snap.Aborts != aborting {
+		t.Errorf("snapshot (%d conflicts, %d aborts) != event scan (%d, %d)",
+			snap.Conflicts, snap.Aborts, conflicts, aborting)
+	}
+	var edgeConflicts, edgeAborts int
+	for _, e := range snap.Edges {
+		edgeConflicts += e.Count
+		edgeAborts += e.Aborts
+	}
+	if edgeConflicts != conflicts || edgeAborts != aborting {
+		t.Errorf("edge sums (%d, %d) do not account for the recorded events (%d, %d)",
+			edgeConflicts, edgeAborts, conflicts, aborting)
+	}
+	if snap.Threads != threads {
+		t.Errorf("snapshot threads = %d, want %d", snap.Threads, threads)
+	}
+	if snap.MaxDegree > threads-1 || snap.MaxDegree != snap.Graph.MaxDegree() {
+		t.Errorf("max degree %d inconsistent (graph says %d, %d threads)",
+			snap.MaxDegree, snap.Graph.MaxDegree(), threads)
+	}
+
+	// Heatmap: the single shared variable must carry the whole attribution.
+	heat := col.Heatmap(1)
+	if len(heat) == 0 {
+		t.Fatal("heatmap empty despite recorded opens")
+	}
+	if heat[0].Aborts != aborting {
+		t.Errorf("hottest variable attributes %d aborts, want all %d (one shared var)", heat[0].Aborts, aborting)
+	}
+	if heat[0].Conflicts != conflicts {
+		t.Errorf("hottest variable saw %d conflicts, want %d", heat[0].Conflicts, conflicts)
+	}
+
+	// Attempt-lifecycle identity on the recorded stream: every attempt
+	// begins once and ends in exactly one outcome, so begins can never be
+	// fewer than outcomes (commit-then-abort double-counts an attempt's
+	// commit entry, so use >=).
+	counts := col.Counts()
+	if counts[EvBegin] < counts[EvAbort] {
+		t.Errorf("begins %d < aborts %d: lifecycle broken", counts[EvBegin], counts[EvAbort])
+	}
+}
+
+func TestRecorderWaitEvents(t *testing.T) {
+	const threads = 2
+	rec := NewRecorder(threads, 1, 1<<16)
+	col := NewCollector(rec, 0)
+	rt := stm.New(threads, waitCM{}, stm.WithProbe(rec))
+	shared := stm.NewTVar(0)
+
+	var wg sync.WaitGroup
+	for ti := 0; ti < threads; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			th := rt.Thread(ti)
+			for i := 0; i < 200; i++ {
+				th.Atomic(func(tx *stm.Tx) { stm.Write(tx, shared, stm.Read(tx, shared)+1) })
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	var waits int
+	for _, e := range col.Events() {
+		if e.Kind == EvWait {
+			waits++
+			if e.A == 0 {
+				t.Error("wait event with zero duration payload")
+			}
+			if d, ok := e.Decision(); !ok || d != stm.Wait {
+				t.Errorf("wait event carries verdict %v", e.Verdict)
+			}
+		}
+	}
+	if waits == 0 {
+		t.Skip("no waits observed (no overlap); nothing to verify")
+	}
+	if col.Heatmap(1)[0].Waits <= 0 {
+		t.Error("heatmap did not attribute wait time to the contended variable")
+	}
+}
+
+func TestRecorderAuxEvents(t *testing.T) {
+	rec := NewRecorder(1, 1, 0)
+	col := NewCollector(rec, 0)
+
+	rec.FrameAdvanced(7)
+	rec.BatchSealed(42, 9)
+	rec.FsyncDone(1500*time.Nanosecond, 9)
+
+	evs := col.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d aux events, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.Thread != -1 || e.Seq != -1 || e.Attempt != -1 {
+			t.Errorf("aux event %v carries a transaction subject", e)
+		}
+	}
+	if evs[0].Kind != EvFrame || evs[0].A != 7 {
+		t.Errorf("frame event = %+v", evs[0])
+	}
+	if evs[1].Kind != EvWalSeal || evs[1].A != 42 || evs[1].B != 9 {
+		t.Errorf("seal event = %+v", evs[1])
+	}
+	if evs[2].Kind != EvWalFsync || evs[2].A != 1500 || evs[2].B != 9 {
+		t.Errorf("fsync event = %+v", evs[2])
+	}
+}

@@ -1,0 +1,151 @@
+package txtrace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewRing(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	var ts int64
+	next := func() Event { ts++; return Event{TS: ts, Kind: EvBegin} }
+
+	// Push/drain across several full revolutions so the cursors wrap the
+	// buffer many times; order and content must survive every lap.
+	var got []Event
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < r.Cap(); i++ {
+			if !r.Push(next()) {
+				t.Fatalf("lap %d: push %d rejected on a non-full ring", lap, i)
+			}
+		}
+		got = r.Drain(got[:0])
+		if len(got) != r.Cap() {
+			t.Fatalf("lap %d: drained %d events, want %d", lap, len(got), r.Cap())
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].TS != got[i-1].TS+1 {
+				t.Fatalf("lap %d: out-of-order drain at %d: %d after %d", lap, i, got[i].TS, got[i-1].TS)
+			}
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("no push should have been dropped, got %d", r.Dropped())
+	}
+
+	// Partial drains interleaved with pushes must also preserve order.
+	for i := int64(0); i < 3; i++ {
+		r.Push(Event{TS: 100 + i})
+	}
+	got = r.Drain(got[:0])
+	for i := int64(0); i < 6; i++ {
+		r.Push(Event{TS: 200 + i})
+	}
+	got = r.Drain(got[:0])
+	if len(got) != 6 || got[0].TS != 200 || got[5].TS != 205 {
+		t.Errorf("interleaved drain: got %d events starting at %d", len(got), got[0].TS)
+	}
+}
+
+// TestRingDroppedDeterministic pins the drop accounting exactly: a full
+// ring rejects the NEW event (never overwrites) and counts every
+// rejection.
+func TestRingDroppedDeterministic(t *testing.T) {
+	r := NewRing(4)
+	for i := int64(0); i < 10; i++ {
+		r.Push(Event{TS: i})
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6 (10 pushes into a 4-slot ring)", r.Dropped())
+	}
+	got := r.Drain(nil)
+	if len(got) != 4 {
+		t.Fatalf("drained %d events, want the 4 retained", len(got))
+	}
+	// Drop-newest: the survivors are the OLDEST four, in order.
+	for i, e := range got {
+		if e.TS != int64(i) {
+			t.Errorf("slot %d: TS = %d, want %d (drop-newest keeps the oldest)", i, e.TS, i)
+		}
+	}
+	// The ring recovers after a drain and the counter is cumulative.
+	if !r.Push(Event{TS: 99}) {
+		t.Error("push after drain should succeed")
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped() moved to %d after a successful push", r.Dropped())
+	}
+}
+
+// TestRingDrainUnderWrite races one producer against one dedicated
+// consumer per ring — 16 rings, 32 goroutines — under the race detector.
+// Every pushed event must be drained exactly once, in order, and
+// accepted+dropped must equal the attempt count.
+func TestRingDrainUnderWrite(t *testing.T) {
+	const (
+		rings  = 16
+		pushes = 20000
+	)
+	var wg sync.WaitGroup
+	for ri := 0; ri < rings; ri++ {
+		r := NewRing(64)
+		accepted := make(chan uint64, 1)
+		done := make(chan struct{})
+		wg.Add(2)
+		go func() { // producer
+			defer wg.Done()
+			var ok uint64
+			for i := int64(1); i <= pushes; i++ {
+				if r.Push(Event{TS: i}) {
+					ok++
+				}
+			}
+			accepted <- ok
+			close(done)
+		}()
+		go func() { // consumer
+			defer wg.Done()
+			var got []Event
+			var n uint64
+			var last int64
+			drain := func() {
+				got = r.Drain(got[:0])
+				for _, e := range got {
+					if e.TS <= last {
+						t.Errorf("ring: drained TS %d after %d", e.TS, last)
+						return
+					}
+					last = e.TS
+				}
+				n += uint64(len(got))
+			}
+			for {
+				select {
+				case <-done:
+					drain() // final sweep after the producer stops
+					want := <-accepted
+					if n != want {
+						t.Errorf("ring: drained %d events, producer pushed %d", n, want)
+					}
+					if want+r.Dropped() != pushes {
+						t.Errorf("ring: accepted %d + dropped %d != %d attempts", want, r.Dropped(), pushes)
+					}
+					return
+				default:
+					drain()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// recObserver records every observer callback.
+type recObserver struct {
+	seals  []int64
+	txs    []int
+	fsyncs int
+	recs   int
+}
+
+func (o *recObserver) BatchSealed(seq int64, txs int) {
+	o.seals = append(o.seals, seq)
+	o.txs = append(o.txs, txs)
+}
+
+func (o *recObserver) FsyncDone(d time.Duration, recs int) {
+	if d < 0 {
+		panic("negative fsync duration")
+	}
+	o.fsyncs++
+	o.recs += recs
+}
+
+func TestObserverSeesSealsAndFsyncs(t *testing.T) {
+	fs := newMemFS()
+	obs := &recObserver{}
+	l, _, err := Open(Options{FS: fs, Linger: -1, Observer: obs}, nil, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d := newDriver(l)
+	for k := uint64(0); k < 3; k++ {
+		d.commit(t, k)
+	}
+	l.Advance(0)
+	for k := uint64(3); k < 5; k++ {
+		d.commit(t, k)
+	}
+	l.Advance(1)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if len(obs.seals) != 2 || obs.seals[0] != 0 || obs.seals[1] != 1 {
+		t.Errorf("sealed batches = %v, want [0 1]", obs.seals)
+	}
+	if len(obs.txs) != 2 || obs.txs[0] != 3 || obs.txs[1] != 2 {
+		t.Errorf("batch sizes = %v, want [3 2]", obs.txs)
+	}
+	if obs.fsyncs == 0 {
+		t.Error("no fsync reported")
+	}
+	// Every appended record becomes durable through exactly one reported
+	// fsync, so the per-fsync record counts sum to the append total.
+	if obs.recs != 5 {
+		t.Errorf("records across fsyncs = %d, want 5", obs.recs)
+	}
+}
+
+func TestNilObserverIsFine(t *testing.T) {
+	fs := newMemFS()
+	l, _, err := Open(Options{FS: fs, Linger: -1}, nil, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d := newDriver(l)
+	d.commit(t, 1)
+	l.Advance(0)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

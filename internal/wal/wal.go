@@ -54,6 +54,24 @@ type Options struct {
 	// drive no frame clock — durable with a time-based group commit, and
 	// flushes idle tails under SyncEvery > 1.
 	Linger time.Duration
+	// Observer, when set, receives per-batch and per-fsync notifications
+	// (telemetry histograms, the flight recorder's WAL track). Callbacks
+	// run under the log's writer lock — they must be fast, non-blocking
+	// and must not call back into the log.
+	Observer Observer
+}
+
+// Observer receives the log's write-path notifications. Implementations
+// are called with the writer lock held; keep them allocation-free and
+// quick (a histogram observation, a ring push).
+type Observer interface {
+	// BatchSealed reports one group-commit batch written to the active
+	// segment: its sequence number and how many committed transactions'
+	// records it carried.
+	BatchSealed(seq int64, txs int)
+	// FsyncDone reports one completed fsync: its duration and how many
+	// records it made durable.
+	FsyncDone(d time.Duration, recs int)
 }
 
 func (o Options) withDefaults() Options {
@@ -380,6 +398,9 @@ func (l *Log) writeBatchWLocked(b *batch) {
 	l.lastSeq = b.seq
 	l.sinceSync++
 	l.lastWrite = time.Now()
+	if ob := l.opt.Observer; ob != nil {
+		ob.BatchSealed(b.seq, len(committed))
+	}
 	if l.sinceSync >= l.opt.SyncEvery {
 		if l.fsyncWLocked() != nil {
 			return
@@ -407,9 +428,13 @@ func (l *Log) fsyncWLocked() error {
 	if err := l.Err(); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := l.cur.Sync(); err != nil {
 		l.fail(err)
 		return err
+	}
+	if ob := l.opt.Observer; ob != nil {
+		ob.FsyncDone(time.Since(start), int(l.unsyncedRecs))
 	}
 	l.fsyncs.Add(1)
 	l.durable.Add(l.unsyncedRecs)
