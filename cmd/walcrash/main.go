@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"wincm/internal/harness"
+	"wincm/internal/stm"
 )
 
 func main() {
@@ -33,9 +34,16 @@ func main() {
 		syncEv   = flag.Int("sync-every", 1, "group-commit depth: fsync once per this many sealed batches")
 		snapProb = flag.Float64("snapshot-prob", 0.3, "chance a round snapshots (and truncates segments) before its crash")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "base seed; campaign i uses seed+i*7919")
+		backend  = flag.String("backend", "", "STM engine for the workload: eager (default) or lazy (commit-time write-back under the same WAL ordering)")
 		verbose  = flag.Bool("v", false, "print per-round progress")
 	)
 	flag.Parse()
+	if *backend != "" {
+		if _, err := stm.BackendOption(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "walcrash: -backend: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	points, replayed, torn := 0, int64(0), int64(0)
 	for s := 0; s < *seeds; s++ {
@@ -47,6 +55,7 @@ func main() {
 			Manager:      *manager,
 			SyncEvery:    *syncEv,
 			SnapshotProb: *snapProb,
+			Backend:      *backend,
 		}
 		if *verbose {
 			o.Logf = func(format string, args ...any) {

@@ -19,6 +19,11 @@
 // commits. Flags that only make sense for a mode they don't enable
 // (-wal-dir without -durable, -chaos-seed without -chaos, ...) fail fast.
 //
+// -backend selects the STM engine every cell runs on: eager (the paper's
+// DSTM-style conflict-on-open runtime, the default) or lazy (TL2-style
+// invisible reads with commit-time validation and buffered write-back).
+// All managers, figures, chaos, durability and tracing work on both.
+//
 // Defaults are CI-friendly; -paper restores the published regime
 // (10-second runs averaged over 6 repetitions, threads up to 32).
 // -chaos layers deterministic fault injection (stalls, spurious aborts,
@@ -43,6 +48,7 @@ import (
 	"wincm/internal/bench"
 	"wincm/internal/chaos"
 	"wincm/internal/harness"
+	"wincm/internal/stm"
 	"wincm/internal/telemetry"
 	"wincm/internal/txtrace"
 )
@@ -59,7 +65,8 @@ func main() {
 		windowN   = flag.Int("window-n", 50, "window size N for window-based managers")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		paper     = flag.Bool("paper", false, "use the paper's full regime (10s runs × 6 reps)")
-		invisible = flag.Bool("invisible", false, "use invisible (version-validated) reads instead of the paper's visible reads")
+		invisible = flag.Bool("invisible", false, "use invisible (version-validated) reads instead of the paper's visible reads (eager engine only)")
+		backend   = flag.String("backend", "", "STM engine: eager (the paper's DSTM-style runtime, default) or lazy (TL2-style commit-time validation)")
 
 		chaosOn    = flag.Bool("chaos", false, "inject deterministic faults (stalls, spurious aborts, delays, decision perturbation) and arm the serialized-fallback budgets")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "seed for the fault schedules (0 = derive from -seed); the same seed replays the same schedule")
@@ -95,6 +102,9 @@ func main() {
 				fatalf("-%s has no effect without %s", n, mode)
 			}
 		}
+	}
+	if err := validateBackend(*backend, *invisible); err != nil {
+		fatalf("%v", err)
 	}
 	requireMode("-durable", *durable, "wal-dir", "wal-sync-every", "snapshot-every")
 	requireMode("-chaos", *chaosOn, "chaos-seed", "stall-prob", "max-attempts", "tx-deadline")
@@ -141,6 +151,7 @@ func main() {
 		Fig5Threads: *fig5M,
 		WindowN:     *windowN,
 		Invisible:   *invisible,
+		Backend:     *backend,
 		Seed:        *seed,
 		Chaos:       *chaosOn,
 		ChaosSeed:   *chaosSeed,
@@ -289,6 +300,24 @@ func traceRun(opts harness.Options, manager string, out *os.File) {
 		}
 		fmt.Printf("\nchrome trace written to %s (open in ui.perfetto.dev)\n", out.Name())
 	}
+}
+
+// validateBackend fails the engine selection fast, before any cell runs:
+// unknown names and the meaningless lazy+invisible combination (the lazy
+// backend's reads are always invisible, so the flag would silently
+// promise an ablation it cannot deliver) are caught at flag time rather
+// than deep inside the first sweep.
+func validateBackend(backend string, invisible bool) error {
+	if backend == "" {
+		return nil
+	}
+	if _, err := stm.BackendOption(backend); err != nil {
+		return fmt.Errorf("-backend: %v (want %s)", err, strings.Join(stm.Backends(), " or "))
+	}
+	if backend == stm.BackendLazy && invisible {
+		return fmt.Errorf("-invisible is an eager-engine knob; the %s backend's reads are always invisible", backend)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wincm/internal/stm"
+)
+
+// TestValidateBackend covers the fail-fast engine selection: every
+// registered backend is accepted, unknown names and the lazy+invisible
+// combination are rejected with messages that name the offending flag.
+func TestValidateBackend(t *testing.T) {
+	for _, name := range append([]string{""}, stm.Backends()...) {
+		if err := validateBackend(name, false); err != nil {
+			t.Errorf("validateBackend(%q, false) = %v, want nil", name, err)
+		}
+	}
+	// -invisible is fine with the default and explicit eager engines.
+	for _, name := range []string{"", stm.BackendEager} {
+		if err := validateBackend(name, true); err != nil {
+			t.Errorf("validateBackend(%q, true) = %v, want nil", name, err)
+		}
+	}
+	err := validateBackend("htm", false)
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if !strings.Contains(err.Error(), "htm") {
+		t.Errorf("unknown-backend error does not name the input: %v", err)
+	}
+	err = validateBackend(stm.BackendLazy, true)
+	if err == nil {
+		t.Fatal("lazy+invisible accepted")
+	}
+	if !strings.Contains(err.Error(), "-invisible") {
+		t.Errorf("lazy+invisible error does not name the flag: %v", err)
+	}
+}

@@ -51,8 +51,12 @@ type Options struct {
 	// KeyRange is the set benchmarks' key universe. Default 256.
 	KeyRange int
 	// Invisible switches the STM to invisible reads for every cell
-	// (ablation; the paper's setting is visible reads).
+	// (ablation; the paper's setting is visible reads). Eager only.
 	Invisible bool
+	// Backend selects the STM engine for every cell ("" or
+	// stm.BackendEager for the paper's eager runtime, stm.BackendLazy
+	// for TL2-style commit-time validation).
+	Backend string
 	// Seed makes runs reproducible.
 	Seed uint64
 	// Chaos runs every cell under deterministic fault injection and arms
@@ -161,6 +165,7 @@ func (o Options) config(manager string, threads int, seed uint64) Config {
 		Threads:     threads,
 		WindowN:     o.WindowN,
 		Invisible:   o.Invisible,
+		Backend:     o.Backend,
 		Seed:        seed,
 		Chaos:       o.chaosConfig(threads),
 		MaxAttempts: maxAttempts,

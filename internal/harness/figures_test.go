@@ -82,10 +82,13 @@ func TestInterleaveResolution(t *testing.T) {
 }
 
 func TestStmOptions(t *testing.T) {
-	if opts, inj := (Config{}).stmOptions(); len(opts) != 0 || inj != nil {
-		t.Error("visible default produced options or an injector")
+	if opts, inj, err := (Config{}).stmOptions(); len(opts) != 0 || inj != nil || err != nil {
+		t.Error("visible default produced options, an injector, or an error")
 	}
-	opts, inj := (Config{Invisible: true}).stmOptions()
+	opts, inj, err := (Config{Invisible: true}).stmOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(opts) != 1 {
 		t.Fatal("invisible option missing")
 	}
@@ -99,6 +102,32 @@ func TestStmOptions(t *testing.T) {
 	rt := stm.New(1, mgr, opts...)
 	if !rt.InvisibleReads() {
 		t.Error("option did not enable invisible reads")
+	}
+}
+
+// TestStmOptionsBackend covers the engine-selection plumbing: the lazy
+// backend builds a lazy runtime, unknown names and the meaningless
+// lazy+invisible combination are rejected before any runtime exists.
+func TestStmOptionsBackend(t *testing.T) {
+	opts, _, err := (Config{Backend: stm.BackendLazy}).stmOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := cm.New("polka", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt := stm.New(1, mgr, opts...); rt.Backend() != stm.BackendLazy {
+		t.Errorf("backend = %q, want lazy", rt.Backend())
+	}
+	if opts, _, err := (Config{Backend: stm.BackendEager}).stmOptions(); err != nil || len(opts) != 1 {
+		t.Errorf("explicit eager: opts=%d err=%v", len(opts), err)
+	}
+	if _, _, err := (Config{Backend: "htm"}).stmOptions(); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, _, err := (Config{Backend: stm.BackendLazy, Invisible: true}).stmOptions(); err == nil {
+		t.Error("lazy+invisible accepted")
 	}
 }
 

@@ -48,8 +48,13 @@ type Config struct {
 	// ignored for the classic managers. 0 means the paper default of 50.
 	WindowN int
 	// Invisible switches the STM to invisible (version-validated) reads;
-	// the paper's experiments use visible reads (the default).
+	// the paper's experiments use visible reads (the default). Eager
+	// engine only — the lazy backend's reads are always invisible.
 	Invisible bool
+	// Backend selects the STM engine: stm.BackendEager (default, also
+	// selected by the empty string) or stm.BackendLazy for TL2-style
+	// commit-time validation. Run rejects unknown names.
+	Backend string
 	// Interleave makes every k-th transactional open yield the processor
 	// so transactions overlap at fine grain even when GOMAXPROCS is
 	// smaller than Threads (the paper oversubscribed 4 cores with 32
@@ -120,8 +125,18 @@ func (c Config) interleave() int {
 // stmOptions translates the Config into runtime options; the returned
 // injector is non-nil when fault injection is enabled. The probe is NOT
 // installed here — instrument combines it with the telemetry probe first.
-func (c Config) stmOptions() ([]stm.Option, *chaos.Injector) {
+func (c Config) stmOptions() ([]stm.Option, *chaos.Injector, error) {
 	var opts []stm.Option
+	if c.Backend != "" {
+		opt, err := stm.BackendOption(c.Backend)
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.Backend == stm.BackendLazy && c.Invisible {
+			return nil, nil, fmt.Errorf("backend %q already reads invisibly; Invisible is an eager-engine knob", c.Backend)
+		}
+		opts = append(opts, opt)
+	}
 	if c.Invisible {
 		opts = append(opts, stm.WithInvisibleReads())
 	}
@@ -136,7 +151,7 @@ func (c Config) stmOptions() ([]stm.Option, *chaos.Injector) {
 		}
 		inj = chaos.New(cfg)
 	}
-	return opts, inj
+	return opts, inj, nil
 }
 
 // NewManager builds the configured contention manager, routing window
@@ -201,7 +216,10 @@ func (ins *instruments) record(id int, info stm.TxInfo) {
 // registry, and the interval sampler starts last so its first point sees
 // every instrument registered.
 func (c Config) instrument(mgr stm.ContentionManager, w Workload) (*stm.Runtime, *instruments, error) {
-	opts, inj := c.stmOptions()
+	opts, inj, err := c.stmOptions()
+	if err != nil {
+		return nil, nil, err
+	}
 	ins := &instruments{inj: inj}
 	var probe stm.Probe
 	if inj != nil {

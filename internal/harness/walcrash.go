@@ -40,6 +40,10 @@ type WalCrashOptions struct {
 	SyncEvery int
 	// SegmentBytes keeps segments small so rolls happen often (default 8 KiB).
 	SegmentBytes int64
+	// Backend selects the STM engine for the workload ("" = eager). The
+	// lazy backend's commit-time write-back must preserve the same
+	// PreCommit reservation order the replay depends on.
+	Backend string
 	// RoundDur bounds how long each round's workers run (default 25ms).
 	RoundDur time.Duration
 	// SnapshotProb is the chance a round takes a successful mid-round
@@ -98,12 +102,12 @@ var crashModeNames = [crashModes]string{
 
 // WalCrashReport summarizes a campaign.
 type WalCrashReport struct {
-	Rounds     int
-	ByMode     [crashModes]int
-	Replayed   int64 // commit records replayed across all recoveries
-	TornTails  int64 // torn tails discarded across all recoveries
-	Snapshots  int64 // snapshots survived into a recovery
-	Committed  int64 // transactions committed in memory across all rounds
+	Rounds    int
+	ByMode    [crashModes]int
+	Replayed  int64 // commit records replayed across all recoveries
+	TornTails int64 // torn tails discarded across all recoveries
+	Snapshots int64 // snapshots survived into a recovery
+	Committed int64 // transactions committed in memory across all rounds
 	// RecoveryCrashes counts double-crash rounds whose armed fault actually
 	// landed inside recovery (wal.Open failed, the disk died with the
 	// torn-tail cut still volatile, and a second recovery ran on the
@@ -202,7 +206,7 @@ func WalCrash(o WalCrashOptions) (WalCrashReport, error) {
 
 		// New life: run the workload on the recovered state until the
 		// scheduled crash.
-		cfg := Config{Manager: o.Manager, Threads: o.Threads, WindowN: o.WindowN, Seed: o.Seed + uint64(round)*1000003}
+		cfg := Config{Manager: o.Manager, Threads: o.Threads, WindowN: o.WindowN, Backend: o.Backend, Seed: o.Seed + uint64(round)*1000003}
 		mgr, err := cfg.NewManager()
 		if err != nil {
 			return rep, err

@@ -7,6 +7,7 @@ import (
 	"wincm/internal/bench"
 	"wincm/internal/chaos"
 	"wincm/internal/harness"
+	"wincm/internal/stm"
 	"wincm/internal/wal"
 )
 
@@ -32,6 +33,12 @@ func TestWalCrashCampaign(t *testing.T) {
 		if s%2 == 1 {
 			o.Manager = "polka" // classic manager: linger-driven seals
 			o.SyncEvery = 4     // batched fsyncs under crashes too
+		}
+		if s%3 == 1 {
+			// Crash-recover the lazy engine too: its commit-time
+			// write-back must keep PreCommit slot order = serialization
+			// order or replay diverges from the in-memory tree.
+			o.Backend = stm.BackendLazy
 		}
 		rep, err := harness.WalCrash(o)
 		if err != nil {

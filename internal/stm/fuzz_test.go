@@ -14,9 +14,10 @@ import (
 // maintained under the invariant "all equal", then write the incremented
 // value to all of them. Any non-serializable execution breaks the
 // all-equal invariant permanently, and any lost update shows up in the
-// final counter value.
+// final counter value. The mode dimension covers all three read/commit
+// protocols: eager-visible, eager-invisible, and the lazy engine.
 func TestQuickSerializableHistories(t *testing.T) {
-	f := func(seed uint64, threadsRaw, varsRaw uint8, invisible bool) bool {
+	f := func(seed uint64, threadsRaw, varsRaw, modeRaw uint8) bool {
 		threads := 2 + int(threadsRaw)%4
 		vars := 1 + int(varsRaw)%5
 		mgr, err := cm.New("karma", threads)
@@ -24,8 +25,11 @@ func TestQuickSerializableHistories(t *testing.T) {
 			return false
 		}
 		var opts []stm.Option
-		if invisible {
+		switch modeRaw % 3 {
+		case 1:
 			opts = append(opts, stm.WithInvisibleReads())
+		case 2:
+			opts = append(opts, stm.WithLazyBackend())
 		}
 		rt := stm.New(threads, mgr, opts...)
 		rt.SetYieldEvery(2)
@@ -71,7 +75,7 @@ func TestQuickSerializableHistories(t *testing.T) {
 		}
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 18}); err != nil {
 		t.Error(err)
 	}
 }

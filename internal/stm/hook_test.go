@@ -44,14 +44,30 @@ func (h *orderHook) PostCommit(_ *stm.Tx, token any, committed bool) error {
 // CAS and any dependent read happens after it, the committed reservations
 // must hold strictly increasing counter values — the exact property WAL
 // replay depends on. A post-CAS-only hook fails this test under load.
+// It runs over both engines: the lazy backend's commit-time write-back
+// must preserve the same reservation-order guarantee (a dependent read
+// is only possible after the fold, which is after the status CAS, which
+// is after PreCommit).
 func TestHookReservationOrderIsSerializationOrder(t *testing.T) {
+	for _, backend := range stm.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			testHookReservationOrder(t, backend)
+		})
+	}
+}
+
+func testHookReservationOrder(t *testing.T, backend string) {
 	const threads, perThread = 8, 400
 	h := &orderHook{}
 	mgr, err := cm.New("karma", threads)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt := stm.New(threads, mgr, stm.WithCommitHook(h))
+	opt, err := stm.BackendOption(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(threads, mgr, opt, stm.WithCommitHook(h))
 	ctr := stm.NewTVar(0)
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {

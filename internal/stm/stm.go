@@ -31,6 +31,13 @@
 // it unwinds the callback with a private panic that Atomic recovers,
 // re-running the callback until it commits (the standard Go idiom for
 // non-local exits inside a package; the panic never escapes Atomic).
+//
+// The eager protocol above is one of two engines behind the Engine seam
+// (engine.go): WithLazyBackend selects a TL2-style lazy engine instead —
+// invisible version-clock reads, buffered writes, commit-time lock
+// acquisition and validation (lazy.go). The attempt loop, contention
+// managers, probes, commit hooks, fallback token and watchdog are
+// engine-independent and run unchanged over both.
 package stm
 
 import (
@@ -183,8 +190,18 @@ type Tx struct {
 	// OpenedVar). Written only when openProbe is installed, so the
 	// no-probe hot path never touches it. Owner-thread-only.
 	openVar uint64
-	writes []container
-	vreads []vread
+	writes  []container
+	vreads  []vread
+	// Lazy-engine attempt state (lazy.go); untouched on the eager engine.
+	// rv is the attempt's read timestamp (clock snapshot), wbuf the
+	// buffered write set; the tallies feed attempt-end telemetry folding
+	// like the eager ones above. All owner-thread-only.
+	rv            uint64
+	wbuf          []lazyWrite
+	acqAttempt    int // commit-lock resolve escalation; on Tx so no stack pointer escapes through lazyEnt
+	clockRetries  int
+	valExtensions int
+	commitValNs   int64
 	// intents and stageBuf hold the durable write-set entries staged via
 	// Stage (hook.go); hookErr is the commit hook's error for this attempt.
 	// All owner-thread-only, reset per attempt.
@@ -231,6 +248,22 @@ func (tx *Tx) LocatorPoolMisses() int { return tx.locPoolMisses }
 // survives cleanup.
 func (tx *Tx) EpochAdvances() int { return tx.epochAdvances }
 
+// ClockCASRetries reports how many version-clock tick CASes this attempt
+// had to repeat (lazy engine; always 0 on the eager engine).
+// Owner-thread-only; survives cleanup for attempt-end telemetry folding.
+func (tx *Tx) ClockCASRetries() int { return tx.clockRetries }
+
+// ValidationExtensions reports how many snapshot extensions this attempt
+// performed (lazy engine; always 0 on the eager engine).
+// Owner-thread-only; survives cleanup.
+func (tx *Tx) ValidationExtensions() int { return tx.valExtensions }
+
+// CommitValidationNs reports the time this attempt spent in commit-time
+// read-set validation, in nanoseconds (lazy engine; always 0 on the
+// eager engine and for read-only attempts). Owner-thread-only; survives
+// cleanup.
+func (tx *Tx) CommitValidationNs() int64 { return tx.commitValNs }
+
 // OpenedVar returns an opaque identity token for the variable the current
 // open operation targets — the TVar a conflict discovered during this open
 // is over. It is populated only while a probe with live open hooks is
@@ -274,6 +307,7 @@ func (tx *Tx) beginAttempt() {
 	if tx.poolOn {
 		tx.pin()
 	}
+	tx.rt.engine.begin(tx)
 }
 
 // Abort aborts tx's current attempt if it is still active. It is safe to
@@ -314,6 +348,13 @@ type Runtime struct {
 	yieldEvery atomic.Int64
 	invisible  bool
 
+	// engine is the installed transactional protocol (engine.go); lazy
+	// is the same value pre-asserted when the lazy backend is installed,
+	// so the per-operation dispatch in Read/Write/Modify is one nil
+	// check instead of an interface assertion.
+	engine Engine
+	lazy   *lazyEngine
+
 	// epochSlots holds one padded reclamation pin slot per thread
 	// (epoch.go), the same shape as the reader spill table.
 	epochSlots []paddedUint64
@@ -347,6 +388,12 @@ func New(m int, cm ContentionManager, opts ...Option) *Runtime {
 	rt := &Runtime{cm: cm}
 	for _, opt := range opts {
 		opt(rt)
+	}
+	if rt.engine == nil {
+		rt.engine = eagerEngine{}
+	}
+	if rt.lazy != nil && rt.invisible {
+		panic("stm: WithInvisibleReads is an eager-engine knob; the lazy backend's reads are always invisible")
 	}
 	if rt.probe != nil && !probeNoOpenHooks(rt.probe) {
 		rt.openProbe = rt.probe
@@ -451,6 +498,9 @@ type Thread struct {
 	// pools holds the thread's typed locator recyclers, indexed by the
 	// global locator type id (pool.go). Owner-thread-only.
 	pools []any
+	// entPools holds the thread's typed lazy write-entry recyclers,
+	// indexed by the same type ids (lazy_tvar.go). Owner-thread-only.
+	entPools []any
 
 	// desc and tx are the reusable descriptor and attempt (see Desc and
 	// Tx for the reuse rules).
@@ -556,7 +606,7 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		// by our own AbortSelf decision. Normalize, release everything we
 		// hold, notify the manager, and go around again.
 		tx.abortWord(tx.status.Load())
-		tx.cleanup()
+		rt.engine.cleanup(tx)
 		info.Wasted += time.Duration(end - d.AttemptStart)
 		cm.Aborted(tx)
 		if p := rt.probe; p != nil {
@@ -565,16 +615,18 @@ func (t *Thread) Atomic(fn func(tx *Tx)) TxInfo {
 		// Symmetric retry cycles need external jitter to break. Invisible
 		// readers conflict only at validation time, where both sides
 		// self-abort with no contention-manager mediation, so they get a
-		// randomized, attempt-scaled pause from the second attempt on.
-		// Visible-mode transactions used to be desynchronized for free by
-		// the write path's allocations (and the GC pauses they caused);
-		// with the locator pool (pool.go) the committed path allocates
-		// nothing, and priority-tied transactions really do abort each
-		// other in lockstep indefinitely. The same randomized pause breaks
-		// that cycle, gated behind an attempt budget so ordinary conflict
-		// handling never pays it.
+		// randomized, attempt-scaled pause from the second attempt on —
+		// and so does the lazy engine, whose validation failures are
+		// equally unmediated self-aborts. Visible-mode transactions used
+		// to be desynchronized for free by the write path's allocations
+		// (and the GC pauses they caused); with the locator pool (pool.go)
+		// the committed path allocates nothing, and priority-tied
+		// transactions really do abort each other in lockstep
+		// indefinitely. The same randomized pause breaks that cycle, gated
+		// behind an attempt budget so ordinary conflict handling never
+		// pays it.
 		if rt.fallback.Load() != d {
-			if rt.invisible {
+			if rt.invisible || rt.lazy != nil {
 				t.abortBackoff(d.Attempts)
 			} else if d.Attempts > visibleBackoffAfter {
 				t.abortBackoff(d.Attempts - visibleBackoffAfter)
@@ -621,8 +673,8 @@ func (t *Thread) abortBackoff(attempts int) {
 	}
 }
 
-// runAttempt executes fn once and tries to commit, converting the internal
-// retry panic into a false return.
+// runAttempt executes fn once and tries to commit through the installed
+// engine, converting the internal retry panic into a false return.
 func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -634,19 +686,20 @@ func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
 		}
 	}()
 	fn(tx)
-	return tx.commit()
+	return tx.rt.engine.commit(tx)
 }
 
-// commit atomically makes the attempt's writes take effect. With
-// invisible reads the read set is validated first; writes are eagerly
-// owned, so a successful validation followed by the status CAS is a
-// correct serialization point (see invisible.go).
+// commitEager atomically makes the attempt's writes take effect (the
+// eager engine's commit; see lazy.go for the lazy one). With invisible
+// reads the read set is validated first; writes are eagerly owned, so a
+// successful validation followed by the status CAS is a correct
+// serialization point (see invisible.go).
 //
 // A commit hook with staged intents brackets the CAS: PreCommit reserves
 // the attempt's durable-order slot before the CAS, PostCommit reports the
 // CAS outcome right after (see hook.go for why the order matters). Hook
 // errors are recorded in hookErr and never affect the in-memory outcome.
-func (tx *Tx) commit() bool {
+func (tx *Tx) commitEager() bool {
 	if p := tx.rt.probe; p != nil {
 		p.OnCommit(tx)
 	}
@@ -674,18 +727,18 @@ func (tx *Tx) commit() bool {
 	if !ok {
 		return false
 	}
-	tx.cleanup()
+	tx.cleanupEager()
 	return true
 }
 
-// cleanup releases ownerships after the attempt has terminated (either
-// way). With the recycled Tx, folding every owned locator before
+// cleanupEager releases ownerships after the attempt has terminated
+// (either way). With the recycled Tx, folding every owned locator before
 // beginAttempt advances the serial is a hard correctness requirement, not
 // an optimization: an unfolded locator would keep naming this Tx while the
 // pointer starts standing for a different attempt. Visible-read stamps
 // need no cleanup — they die automatically when the serial advances
 // (readerset.go).
-func (tx *Tx) cleanup() {
+func (tx *Tx) cleanupEager() {
 	for _, c := range tx.writes {
 		c.release(tx)
 	}

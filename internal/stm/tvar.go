@@ -7,10 +7,14 @@ import (
 )
 
 // container is the type-erased view of a *TVar[T] that attempt cleanup
-// and invisible-read validation use; it keeps Tx free of type parameters.
+// and read-set validation use; it keeps Tx free of type parameters.
 type container interface {
 	release(tx *Tx)
 	validate(tx *Tx, ver uint64, strict bool) bool
+	// lazyValidate is the lazy engine's read check (lazy.go): unlike
+	// validate it never derives a version from an unfolded committed
+	// owner, because the lazy fold version (wv) is not loc.version+1.
+	lazyValidate(tx *Tx, ver uint64) bool
 }
 
 // locator is the word-based ownership record of a TVar: the DSTM locator
@@ -249,6 +253,9 @@ func (v *TVar[T]) release(tx *Tx) {
 // value is always loaded after the registration is visible, so a writer
 // acquiring concurrently either sees our slot or we see its ownership.
 func Read[T any](tx *Tx, v *TVar[T]) T {
+	if tx.rt.lazy != nil {
+		return readLazy(tx, v)
+	}
 	if tx.rt.invisible {
 		return readInvisible(tx, v)
 	}
@@ -297,6 +304,10 @@ func Read[T any](tx *Tx, v *TVar[T]) T {
 // the open returns — so every write-write and write-read conflict is
 // arbitrated by the contention manager before user code proceeds.
 func Write[T any](tx *Tx, v *TVar[T], val T) {
+	if tx.rt.lazy != nil {
+		writeLazy(tx, v, val)
+		return
+	}
 	tx.maybeYield()
 	if p := tx.rt.openProbe; p != nil {
 		tx.openVar = v.token()
@@ -412,6 +423,13 @@ func applyFn[T any](cur T, f func(T) T) T { return f(cur) }
 // conflicting writer, so the read-compute-write is atomic without touching
 // the reader table. f may run once per acquisition retry; it must be pure.
 func ModifyArg[T, A any](tx *Tx, v *TVar[T], arg A, f func(T, A) T) {
+	if tx.rt.lazy != nil {
+		// The read must be logged: commit acquisition does not validate
+		// the value f consumed, only the read-set check does, so a
+		// buffered read-modify-write is Read + Write, not a blind write.
+		writeLazy(tx, v, f(readLazy(tx, v), arg))
+		return
+	}
 	if tx.rt.invisible {
 		Write(tx, v, f(readInvisible(tx, v), arg))
 		return

@@ -42,6 +42,12 @@ type Probe struct {
 	// often sealing a retire batch advanced the reclamation epoch. Folded
 	// in at attempt end like the rest.
 	LocatorPoolHits, LocatorPoolMisses, EpochAdvances *Counter
+	// Lazy-engine instruments (ISSUE 8): version-clock shard CAS retries,
+	// snapshot extensions performed by reads past the attempt's timestamp,
+	// and the commit-time read-set validation span. All zero on the eager
+	// engine; folded in at attempt end.
+	ClockCASRetries, ValidationExtensions *Counter
+	CommitValidationNs                    *Histogram
 
 	mask    uint32
 	scratch []probeScratch
@@ -63,23 +69,26 @@ var _ stm.Probe = (*Probe)(nil)
 func NewProbe(r *Registry, shards int) *Probe {
 	n := ceilPow2(shards)
 	return &Probe{
-		Opens:             r.NewCounter("wincm_opens_total", "transactional opens (reads and writes)", shards),
-		Acquires:          r.NewCounter("wincm_acquires_total", "new write ownerships", shards),
-		CommitCalls:       r.NewCounter("wincm_commit_calls_total", "commit-point entries", shards),
-		AbortEvents:       r.NewCounter("wincm_abort_events_total", "aborted attempts (probe events)", shards),
-		ResolveAbortEnemy: r.NewCounter("wincm_resolve_abort_enemy_total", "conflicts resolved by aborting the enemy", shards),
-		ResolveAbortSelf:  r.NewCounter("wincm_resolve_abort_self_total", "conflicts resolved by self-abort", shards),
-		ResolveWait:       r.NewCounter("wincm_resolve_wait_total", "conflicts resolved by waiting", shards),
-		WaitNs:            r.NewHistogram("wincm_cm_wait_ns", "contention-manager backoff wait spans", shards),
-		CASRetries:        r.NewCounter("wincm_cas_retries_total", "ownership-record CAS retries", shards),
-		ReaderSpills:      r.NewCounter("wincm_reader_spills_total", "visible reads registered in spill-table slots", shards),
-		SpillPoolHits:     r.NewCounter("wincm_spill_pool_hits_total", "spill tables served from the pool", shards),
-		SpillPoolMisses:   r.NewCounter("wincm_spill_pool_misses_total", "spill tables freshly allocated", shards),
-		LocatorPoolHits:   r.NewCounter("wincm_locator_pool_hits_total", "write-path locators served from the per-thread pool", shards),
-		LocatorPoolMisses: r.NewCounter("wincm_locator_pool_misses_total", "write-path locators freshly allocated", shards),
-		EpochAdvances:     r.NewCounter("wincm_epoch_advances_total", "reclamation epoch advances performed by batch seals", shards),
-		mask:              uint32(n - 1),
-		scratch:           make([]probeScratch, n),
+		Opens:                r.NewCounter("wincm_opens_total", "transactional opens (reads and writes)", shards),
+		Acquires:             r.NewCounter("wincm_acquires_total", "new write ownerships", shards),
+		CommitCalls:          r.NewCounter("wincm_commit_calls_total", "commit-point entries", shards),
+		AbortEvents:          r.NewCounter("wincm_abort_events_total", "aborted attempts (probe events)", shards),
+		ResolveAbortEnemy:    r.NewCounter("wincm_resolve_abort_enemy_total", "conflicts resolved by aborting the enemy", shards),
+		ResolveAbortSelf:     r.NewCounter("wincm_resolve_abort_self_total", "conflicts resolved by self-abort", shards),
+		ResolveWait:          r.NewCounter("wincm_resolve_wait_total", "conflicts resolved by waiting", shards),
+		WaitNs:               r.NewHistogram("wincm_cm_wait_ns", "contention-manager backoff wait spans", shards),
+		CASRetries:           r.NewCounter("wincm_cas_retries_total", "ownership-record CAS retries", shards),
+		ReaderSpills:         r.NewCounter("wincm_reader_spills_total", "visible reads registered in spill-table slots", shards),
+		SpillPoolHits:        r.NewCounter("wincm_spill_pool_hits_total", "spill tables served from the pool", shards),
+		SpillPoolMisses:      r.NewCounter("wincm_spill_pool_misses_total", "spill tables freshly allocated", shards),
+		LocatorPoolHits:      r.NewCounter("wincm_locator_pool_hits_total", "write-path locators served from the per-thread pool", shards),
+		LocatorPoolMisses:    r.NewCounter("wincm_locator_pool_misses_total", "write-path locators freshly allocated", shards),
+		EpochAdvances:        r.NewCounter("wincm_epoch_advances_total", "reclamation epoch advances performed by batch seals", shards),
+		ClockCASRetries:      r.NewCounter("wincm_clock_cas_retries_total", "lazy version-clock shard CAS retries", shards),
+		ValidationExtensions: r.NewCounter("wincm_validation_extensions_total", "lazy snapshot extensions (reads past the attempt timestamp)", shards),
+		CommitValidationNs:   r.NewHistogram("wincm_commit_validation_ns", "lazy commit-time read-set validation spans", shards),
+		mask:                 uint32(n - 1),
+		scratch:              make([]probeScratch, n),
 	}
 }
 
@@ -94,6 +103,14 @@ func (p *Probe) foldAttempt(shard int, tx *stm.Tx) {
 	p.LocatorPoolHits.Add(shard, int64(tx.LocatorPoolHits()))
 	p.LocatorPoolMisses.Add(shard, int64(tx.LocatorPoolMisses()))
 	p.EpochAdvances.Add(shard, int64(tx.EpochAdvances()))
+	p.ClockCASRetries.Add(shard, int64(tx.ClockCASRetries()))
+	p.ValidationExtensions.Add(shard, int64(tx.ValidationExtensions()))
+	// Only lazy attempts that reached commit-time validation observe a
+	// span; eager attempts (and read-only lazy ones) stay out of the
+	// histogram rather than flooding bucket zero.
+	if ns := tx.CommitValidationNs(); ns > 0 {
+		p.CommitValidationNs.Observe(shard, ns)
+	}
 }
 
 // NoOpenHooks implements stm.OpenHookFree: the runtime skips this probe's
