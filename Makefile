@@ -14,7 +14,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/ ./internal/wal/
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txbtree/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/ ./internal/wal/
 	go test -race -short ./internal/harness/
 
 # What the GitHub workflow runs (.github/workflows/ci.yml).
@@ -36,22 +36,26 @@ LAZY_BENCH = 'BenchmarkLazyCommittedRead$$|BenchmarkLazyCommittedWrite$$|Benchma
 CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M16$$'
 DURABLE_BENCH = 'BenchmarkDurableCommit$$'
 TRACE_BENCH = 'BenchmarkTraceOverhead/(off|sampled64)$$|BenchmarkTraceRecorderUnsampled$$'
+BTREE_BENCH = 'BenchmarkTxBTreeLookup$$|BenchmarkTxBTreeParallel/M(8|16)$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
 	go test -run xxx -bench $(LAZY_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(TRACE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
+	go test -run xxx -bench $(BTREE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a /tmp/bench_new.txt
 	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
 	grep 'BenchmarkTraceRecorderUnsampled' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 	grep 'BenchmarkLazyCommittedRead' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 	grep 'BenchmarkLazyCommittedWrite' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
+	grep 'BenchmarkTxBTreeLookup' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee bench_baseline.txt
 	go test -run xxx -bench $(LAZY_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(TRACE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a bench_baseline.txt
+	go test -run xxx -bench $(BTREE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a bench_baseline.txt
 

@@ -10,6 +10,7 @@
 //	winbench -fig chaos        robustness matrix under fault injection
 //	winbench -fig telemetry    interval time series + histogram quantiles
 //	winbench -fig durable      WAL on/off throughput + fsync-batching sweep
+//	winbench -fig btree        key-level (semantic) vs tvar-granularity conflict detection
 //
 // -durable runs one standalone crash-safe run instead of a figure: the
 // durable red-black-tree workload on a write-ahead log at -wal-dir
@@ -89,6 +90,8 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "record one logical transaction in N (1 = every transaction)")
 		traceOut    = flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file (open it in ui.perfetto.dev); single-run modes only (-fig trace, -durable)")
 		traceMgr    = flag.String("trace-manager", "online-dynamic", "contention manager the -fig trace run traces")
+
+		btreeThreads = flag.String("btree-threads", "", "comma-separated thread counts for the -fig btree sweep (default 1,4,8,16)")
 	)
 	flag.Parse()
 
@@ -109,8 +112,19 @@ func main() {
 	requireMode("-durable", *durable, "wal-dir", "wal-sync-every", "snapshot-every")
 	requireMode("-chaos", *chaosOn, "chaos-seed", "stall-prob", "max-attempts", "tx-deadline")
 	requireMode("-fig telemetry", *fig == "telemetry", "telemetry-interval", "telemetry-jsonl", "telemetry-csv", "telemetry-manager")
+	requireMode("-fig btree", *fig == "btree", "btree-threads")
 	if *durable && set["fig"] {
 		fatalf("-durable runs a standalone durable workload; it cannot be combined with -fig %s", *fig)
+	}
+	// -fig btree fixes its own axes: it sweeps both engines, pins the
+	// benchmark pair (rbtree vs btree) and uses -btree-threads for M, so
+	// flags that would silently be overridden fail fast instead.
+	if *fig == "btree" {
+		for _, n := range []string{"backend", "invisible", "bench", "threads"} {
+			if set[n] {
+				fatalf("-%s has no effect with -fig btree (the btree figure sweeps both engines over the rbtree/btree pair; use -btree-threads for M)", n)
+			}
+		}
 	}
 	// Bare -trace is shorthand for the trace driver; with an explicit mode
 	// it layers the recorder onto that mode instead.
@@ -192,6 +206,15 @@ func main() {
 			opts.Threads = append(opts.Threads, m)
 		}
 	}
+	if *btreeThreads != "" {
+		for _, t := range strings.Split(*btreeThreads, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(t))
+			if err != nil || m < 1 {
+				fatalf("bad -btree-threads entry %q", t)
+			}
+			opts.BTreeThreads = append(opts.BTreeThreads, m)
+		}
+	}
 
 	if *durable {
 		durableRun(opts, *walDir, *walSyncEvery, *snapEvery, traceFile)
@@ -211,13 +234,14 @@ func main() {
 		"chaos":     harness.ChaosSweep,
 		"telemetry": harness.TelemetryFig,
 		"durable":   harness.DurabilityFig,
+		"btree":     harness.BTreeFig,
 	}
 	order := []string{"2", "3", "4", "5", "ext"}
 
 	run := func(name string) {
 		driver, ok := drivers[name]
 		if !ok {
-			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos, telemetry, durable or all)", name)
+			fatalf("unknown figure %q (want 2, 3, 4, 5, ext, chaos, telemetry, durable, btree or all)", name)
 		}
 		tables, err := driver(opts)
 		if err != nil {

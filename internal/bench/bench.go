@@ -29,7 +29,7 @@ type Set interface {
 }
 
 // NewSet builds the named set benchmark. Valid names are "list",
-// "rbtree", "skiplist" and "hashset".
+// "rbtree", "skiplist", "hashset" and "btree".
 func NewSet(name string) (Set, error) {
 	switch name {
 	case "list":
@@ -40,14 +40,17 @@ func NewSet(name string) (Set, error) {
 		return NewSkipList(), nil
 	case "hashset":
 		return NewHashSet(), nil
+	case "btree":
+		return NewBTree(), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown set benchmark %q", name)
 	}
 }
 
 // SetNames lists the set benchmarks in presentation order: the paper's
-// three plus the IntSetHash-style hash set.
-func SetNames() []string { return []string{"list", "rbtree", "skiplist", "hashset"} }
+// three, the IntSetHash-style hash set, and the semantically-validated
+// B-link tree.
+func SetNames() []string { return []string{"list", "rbtree", "skiplist", "hashset", "btree"} }
 
 // Populate inserts size distinct random keys from [0, keyRange) using
 // thread th, bringing the structure to the experiments' steady-state

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"wincm/internal/stm"
+	"wincm/internal/txbtree"
+)
+
+// BTree is the B-link tree set benchmark, a thin Set adapter over the
+// semantically-validated transactional tree in wincm/internal/txbtree.
+// Unlike the rbtree adapter, its conflicts are detected at key
+// granularity and its structural modifications never enter a conflict
+// set (see DESIGN.md §14).
+type BTree struct {
+	t *txbtree.Tree[struct{}]
+}
+
+var _ Set = (*BTree)(nil)
+
+// NewBTree returns an empty B-link tree set.
+func NewBTree() *BTree { return &BTree{t: txbtree.New[struct{}]()} }
+
+// Name implements Set.
+func (b *BTree) Name() string { return "btree" }
+
+// Insert implements Set.
+func (b *BTree) Insert(tx *stm.Tx, key int) bool {
+	return b.t.Insert(tx, key, struct{}{})
+}
+
+// Remove implements Set.
+func (b *BTree) Remove(tx *stm.Tx, key int) bool {
+	return b.t.Delete(tx, key)
+}
+
+// Contains implements Set.
+func (b *BTree) Contains(tx *stm.Tx, key int) bool {
+	return b.t.Contains(tx, key)
+}
+
+// Keys implements Set (quiescent snapshot).
+func (b *BTree) Keys() []int { return b.t.Keys() }
+
+// Validate checks the underlying tree's B-link invariants (quiescent
+// state only); the harness calls it after verification runs.
+func (b *BTree) Validate() error { return b.t.CheckInvariants() }

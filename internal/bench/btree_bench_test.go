@@ -1,0 +1,51 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wincm/internal/stm"
+	"wincm/internal/txbtree"
+)
+
+// B-link tree benchmark cells (ISSUE 9): the semantic-conflict tree's
+// two headline numbers — an allocation-free steady-state lookup and the
+// parallel update throughput that key-granularity conflict detection is
+// supposed to buy over the tvar-granularity rbtree. The M8/M16 variants
+// are gated in CI via bench_baseline.txt alongside RBTreeParallel.
+
+// BenchmarkTxBTreeLookup measures the uncontended transactional lookup:
+// traverse to the leaf, log one key read, validate one leaf version at
+// commit. Run with -benchmem; with the read/write-set scratch warm this
+// path must report 0 allocs/op (the tentpole criterion; CI asserts it).
+func BenchmarkTxBTreeLookup(b *testing.B) {
+	rt := newRT(b, 1)
+	th := rt.Thread(0)
+	tr := txbtree.New[int]()
+	const keys = 1024
+	for k := 0; k < keys; k++ {
+		th.Atomic(func(tx *stm.Tx) { tr.Insert(tx, k, k) })
+	}
+	// Warm up past the per-thread scratch ramp so the steady state is
+	// measured, not slice growth.
+	for i := 0; i < 200; i++ {
+		th.Atomic(func(tx *stm.Tx) { tr.Get(tx, i%keys) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx *stm.Tx) { tr.Get(tx, (i*7919+13)%keys) })
+	}
+}
+
+// BenchmarkTxBTreeParallel is the rbtree benchmark's workload pointed at
+// the B-link tree: the same 100%-update mix, key range and populate as
+// BenchmarkRBTreeParallel, so the two cells differ only in conflict
+// granularity.
+func BenchmarkTxBTreeParallel(b *testing.B) {
+	for _, m := range []int{8, 16} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			runSetParallel(b, "btree", m)
+		})
+	}
+}

@@ -88,6 +88,8 @@ type Options struct {
 	// TelemetryJSONL and TelemetryCSV, when non-empty, are files the
 	// TelemetryFig interval series is exported to.
 	TelemetryJSONL, TelemetryCSV string
+	// BTreeThreads is the BTreeFig M sweep (default {1, 4, 8, 16}).
+	BTreeThreads []int
 	// DurableThreads is the DurabilityFig worker count (default 4).
 	DurableThreads int
 	// DurableSyncs is the DurabilityFig fsync-batching sweep

@@ -25,7 +25,7 @@ func BenchmarkNames() []string {
 // concentrating the hot spots).
 func NewWorkload(name string, mix bench.Mix, seed uint64) (Workload, error) {
 	switch name {
-	case "list", "rbtree", "skiplist", "hashset":
+	case "list", "rbtree", "skiplist", "hashset", "btree":
 		s, err := bench.NewSet(name)
 		if err != nil {
 			return nil, err

@@ -172,17 +172,33 @@ func (e *lazyEngine) commit(tx *Tx) bool {
 			maxVer = tx.rv
 		}
 		wv = e.clock.tick(tx, maxVer)
-		// Phase 3: validate the read set at the commit point. With the
-		// write set locked, a pass here means every read is still current,
-		// so flipping the status word serializes this attempt correctly.
-		if len(tx.vreads) > 0 {
-			start := now()
-			ok := tx.validateLazy()
-			tx.commitValNs += now() - start
-			if !ok {
-				tx.abortWord(w)
-				return false
-			}
+	}
+	// Semantic validation runs BEFORE the tvar read-set check, not after: a
+	// committed enemy publishes its tvar folds first (write-back) and its
+	// key-level structure effects second (semFinalize), so checking the
+	// structures first means any enemy effect observed there implies the
+	// enemy's tvar folds have already landed — a stale tvar read is then
+	// caught by phase 3 below. The reverse order would admit a commit
+	// pairing a pre-enemy tvar snapshot with post-enemy structure state.
+	// A failure fires OnAbort only, like a read-set validation failure.
+	if len(tx.semOps) > 0 && !tx.semValidate() {
+		tx.abortWord(w)
+		return false
+	}
+	// Phase 3: validate the read set at the commit point. With the write
+	// set locked, a pass here means every read is still current, so
+	// flipping the status word serializes this attempt correctly.
+	// Read-only attempts normally skip the check — their reads were kept
+	// consistent incrementally at rv — but semantic operations serialize
+	// the attempt at the status CAS, not at rv, so any semantic
+	// participation forces the check even with an empty write set.
+	if len(tx.vreads) > 0 && (len(tx.wbuf) > 0 || len(tx.semOps) > 0) {
+		start := now()
+		ok := tx.validateLazy()
+		tx.commitValNs += now() - start
+		if !ok {
+			tx.abortWord(w)
+			return false
 		}
 	}
 	// The OnCommit probe fires here — after acquisition and validation —
@@ -231,6 +247,10 @@ func (e *lazyEngine) commit(tx *Tx) bool {
 // commit), the buffered write entries (recycled to the thread's entry
 // pools), the read log, and the reclamation pin.
 func (e *lazyEngine) cleanup(tx *Tx) {
+	// Semantic structures finalize first (see cleanupEager): a committed
+	// attempt applies its key-level writes and releases its key locks
+	// before the attempt's remaining lazy state recycles.
+	tx.semFinalize()
 	for i := range tx.wbuf {
 		tx.wbuf[i].ent.release(tx)
 		tx.wbuf[i].ent.recycle(tx)

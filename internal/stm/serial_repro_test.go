@@ -1,0 +1,50 @@
+package stm_test
+
+import (
+	"sync"
+	"testing"
+
+	"wincm/internal/stm"
+)
+
+// TestCounterCellSerializes: every transaction increments a counter tvar
+// and stores the observed count into a second tvar. Strict
+// serializability demands the final cell value be the final count minus
+// one — any other value means two committed transactions serialized in
+// opposite orders on the two variables.
+func TestCounterCellSerializes(t *testing.T) {
+	const (
+		m      = 6
+		perThr = 500
+	)
+	for _, yield := range []int{0, 2} {
+		rt := runtimeWith(t, "polka", m)
+		if yield > 0 {
+			rt.SetYieldEvery(yield)
+		}
+		ctr := stm.NewTVar(0)
+		cell := stm.NewTVar(-1)
+		var wg sync.WaitGroup
+		for id := 0; id < m; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := rt.Thread(id)
+				for i := 0; i < perThr; i++ {
+					th.Atomic(func(tx *stm.Tx) {
+						n := stm.Read(tx, ctr)
+						stm.Write(tx, ctr, n+1)
+						stm.Write(tx, cell, n)
+					})
+				}
+			}(id)
+		}
+		wg.Wait()
+		if got, want := ctr.Peek(), m*perThr; got != want {
+			t.Errorf("yield=%d: counter = %d, want %d (lost increments)", yield, got, want)
+		}
+		if got, want := cell.Peek(), m*perThr-1; got != want {
+			t.Errorf("yield=%d: cell = %d, want %d (serialization cycle)", yield, got, want)
+		}
+	}
+}

@@ -208,6 +208,14 @@ type Tx struct {
 	intents  []Intent
 	stageBuf []byte
 	hookErr  error
+	// semOps are the semantic conflict sources registered with this
+	// attempt (semantic.go); the tallies below are cumulative over the
+	// thread's lifetime (Finalize runs after the attempt-end telemetry
+	// fold, so telemetry folds deltas). All owner-thread-only.
+	semOps        []SemanticOps
+	semConflicts  int64
+	structuralOps int64
+	falseAvoided  int64
 }
 
 // OpenCalls reports how many transactional opens (Read and Write calls)
@@ -700,10 +708,18 @@ func runAttempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
 // CAS outcome right after (see hook.go for why the order matters). Hook
 // errors are recorded in hookErr and never affect the in-memory outcome.
 func (tx *Tx) commitEager() bool {
+	w := tx.status.Load()
+	// Semantic validation runs before the OnCommit probe, like the lazy
+	// engine's read-set validation: a failure fires OnAbort only, which
+	// folds the attempt's tallies — including the key-level conflicts the
+	// validation just counted — exactly once.
+	if len(tx.semOps) > 0 && !tx.semValidate() {
+		tx.abortWord(w)
+		return false
+	}
 	if p := tx.rt.probe; p != nil {
 		p.OnCommit(tx)
 	}
-	w := tx.status.Load()
 	if tx.rt.invisible && !tx.validateReads(true) {
 		tx.abortWord(w)
 		return false
@@ -739,6 +755,11 @@ func (tx *Tx) commitEager() bool {
 // need no cleanup — they die automatically when the serial advances
 // (readerset.go).
 func (tx *Tx) cleanupEager() {
+	// Semantic structures finalize first: a committed attempt applies its
+	// buffered key-level writes (and only then drops its key locks), so
+	// by the time the TVar ownerships fold below, the structure is
+	// already consistent for the readers those folds release.
+	tx.semFinalize()
 	for _, c := range tx.writes {
 		c.release(tx)
 	}

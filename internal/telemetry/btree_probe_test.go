@@ -1,0 +1,78 @@
+package telemetry_test
+
+import (
+	"sync"
+	"testing"
+
+	"wincm/internal/cm"
+	"wincm/internal/stm"
+	"wincm/internal/telemetry"
+	"wincm/internal/txbtree"
+)
+
+// TestProbeBTreeCounters drives the transactional B-link tree under the
+// telemetry probe and checks that the three semantic instruments fold:
+// disjoint-key inserts force splits (structural ops), and a hot-key churn
+// raises key-level conflicts. The Tx tallies behind the counters are
+// thread-lifetime cumulative, so this also exercises the delta folding.
+func TestProbeBTreeCounters(t *testing.T) {
+	const m = 4
+	r := telemetry.NewRegistry()
+	p := telemetry.NewProbe(r, m)
+	mgr, err := cm.New("polka", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := stm.New(m, mgr, stm.WithProbe(p))
+	rt.SetYieldEvery(1)
+	tr := txbtree.New[int]()
+
+	var wg sync.WaitGroup
+	for id := 0; id < m; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := rt.Thread(id)
+			// Disjoint stripes: splits, zero key conflicts.
+			for i := 0; i < 400; i++ {
+				k := id*1000 + i
+				th.Atomic(func(tx *stm.Tx) { tr.Insert(tx, k, i) })
+			}
+			// Hot-key churn: key-level conflicts through the CM.
+			for i := 0; i < 200; i++ {
+				th.Atomic(func(tx *stm.Tx) {
+					v, _ := tr.Get(tx, 7)
+					tr.Insert(tx, 7, v+1)
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+	// One more commit per thread so every thread's post-apply structural
+	// tally (counted in Finalize, after the attempt folds) gets folded by
+	// a later attempt.
+	for id := 0; id < m; id++ {
+		rt.Thread(id).Atomic(func(tx *stm.Tx) { tr.Get(tx, 0) })
+	}
+
+	s := r.Snapshot()
+	sem, smo, _ := tr.Stats()
+	if smo == 0 {
+		t.Fatal("expected splits from 1600 disjoint inserts")
+	}
+	if got := s.Counters["wincm_btree_structural_ops_total"]; got == 0 {
+		t.Errorf("wincm_btree_structural_ops_total = 0, tree counted %d", smo)
+	}
+	if sem > 0 && s.Counters["wincm_btree_semantic_conflicts_total"] == 0 {
+		t.Errorf("tree counted %d semantic conflicts, probe folded none", sem)
+	}
+	// The probe folds deltas of cumulative tallies; it can lag the tree's
+	// own counters (an attempt's Finalize work folds with the next
+	// attempt) but must never exceed them.
+	if got := uint64(s.Counters["wincm_btree_structural_ops_total"]); got > smo {
+		t.Errorf("probe folded %d structural ops, tree counted only %d", got, smo)
+	}
+	if got := uint64(s.Counters["wincm_btree_semantic_conflicts_total"]); got > sem {
+		t.Errorf("probe folded %d semantic conflicts, tree counted only %d", got, sem)
+	}
+}

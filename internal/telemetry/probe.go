@@ -48,6 +48,14 @@ type Probe struct {
 	// engine; folded in at attempt end.
 	ClockCASRetries, ValidationExtensions *Counter
 	CommitValidationNs                    *Histogram
+	// Semantic-structure instruments (ISSUE 9): key-level conflicts routed
+	// through the contention manager or failed semantic validations,
+	// structural modifications (splits, root growth) executed off every
+	// conflict set, and the false conflicts the key-level slow path proved
+	// harmless. The Tx tallies behind these are thread-lifetime cumulative
+	// (structural work lands in Finalize, after OnCommit has folded the
+	// attempt), so folding records deltas against per-thread baselines.
+	BTreeSemanticConflicts, BTreeStructuralOps, BTreeFalseConflictsAvoided *Counter
 
 	mask    uint32
 	scratch []probeScratch
@@ -56,11 +64,15 @@ type Probe struct {
 // probeScratch is per-thread bookkeeping for attempt-end folding: which
 // attempt OnCommit already recorded, so an invisible-read validation
 // failure (OnCommit then OnAbort on the same attempt) is not counted
-// twice. Owner-thread-only plain fields; nothing else reads them.
+// twice, plus the baselines the cumulative semantic tallies are folded
+// against. Owner-thread-only plain fields; nothing else reads them.
 type probeScratch struct {
 	lastID      uint64
 	lastAttempt int
-	_           [shardPad - 16]byte
+	lastSem     int64
+	lastSmo     int64
+	lastFalse   int64
+	_           [shardPad - 40]byte
 }
 
 var _ stm.Probe = (*Probe)(nil)
@@ -87,8 +99,13 @@ func NewProbe(r *Registry, shards int) *Probe {
 		ClockCASRetries:      r.NewCounter("wincm_clock_cas_retries_total", "lazy version-clock shard CAS retries", shards),
 		ValidationExtensions: r.NewCounter("wincm_validation_extensions_total", "lazy snapshot extensions (reads past the attempt timestamp)", shards),
 		CommitValidationNs:   r.NewHistogram("wincm_commit_validation_ns", "lazy commit-time read-set validation spans", shards),
-		mask:                 uint32(n - 1),
-		scratch:              make([]probeScratch, n),
+
+		BTreeSemanticConflicts:     r.NewCounter("wincm_btree_semantic_conflicts_total", "key-level semantic conflicts (CM resolutions and failed semantic validations)", shards),
+		BTreeStructuralOps:         r.NewCounter("wincm_btree_structural_ops_total", "structural modifications (splits, root growth) executed off every conflict set", shards),
+		BTreeFalseConflictsAvoided: r.NewCounter("wincm_btree_false_conflicts_avoided_total", "leaf-version misses the key-level slow path proved harmless", shards),
+
+		mask:    uint32(n - 1),
+		scratch: make([]probeScratch, n),
 	}
 }
 
@@ -111,6 +128,21 @@ func (p *Probe) foldAttempt(shard int, tx *stm.Tx) {
 	if ns := tx.CommitValidationNs(); ns > 0 {
 		p.CommitValidationNs.Observe(shard, ns)
 	}
+	// Semantic tallies are thread-lifetime cumulative (see the field
+	// comment); fold the delta since this scratch slot's baseline. When
+	// shards < threads, a slot is shared and a delta can come out negative
+	// — skip the sample and re-baseline rather than corrupt the counter.
+	s := &p.scratch[uint32(shard)&p.mask]
+	if d := tx.SemanticConflicts() - s.lastSem; d > 0 {
+		p.BTreeSemanticConflicts.Add(shard, d)
+	}
+	if d := tx.StructuralOps() - s.lastSmo; d > 0 {
+		p.BTreeStructuralOps.Add(shard, d)
+	}
+	if d := tx.FalseConflictsAvoided() - s.lastFalse; d > 0 {
+		p.BTreeFalseConflictsAvoided.Add(shard, d)
+	}
+	s.lastSem, s.lastSmo, s.lastFalse = tx.SemanticConflicts(), tx.StructuralOps(), tx.FalseConflictsAvoided()
 }
 
 // NoOpenHooks implements stm.OpenHookFree: the runtime skips this probe's

@@ -1,0 +1,486 @@
+// Package txbtree implements a transactional B+ tree with key-level
+// (semantic) conflict detection over the STM's SemanticOps seam.
+//
+// The physical structure is a B-link tree (Lehman–Yao): every node carries
+// a right-sibling pointer and an upper fence key, splits move the upper
+// half of a node into a fresh right sibling, and a traversal that lands on
+// a node whose fence excludes its key simply chases right links. Keys only
+// ever move rightward and nodes are never freed or merged, so a traversal
+// holding no locks across hops can never be stranded — the invariant the
+// whole design leans on. Node access uses plain per-node RWMutex latches
+// held for the duration of one node visit only; none of this state lives
+// in TVars and none of it ever enters an STM conflict set.
+//
+// Transactions interact with the tree through a semantic read/write set
+// instead (txn.go): reads log (key, leaf, leaf-version, slot-version,
+// presence), writes buffer (key, value, delete) privately, and commit-time
+// validation re-checks the reads — per-leaf version fast path, key-level
+// re-locate slow path — while key-level write locks (lock.go) are held.
+// Conflicts discovered there route through the installed contention
+// manager exactly like TVar ownership conflicts, so all managers and both
+// engines run unchanged. Structural modifications — leaf and inner splits,
+// root growth — happen while applying the buffered writes after the commit
+// point; they are non-transactional side effects that abort nobody.
+package txbtree
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// maxKeys is the per-node fan-out. 32 keeps a leaf's key array on two
+// cache lines while making splits rare; lookups scan linearly, which at
+// this width beats a branchy binary search.
+const maxKeys = 32
+
+// node is one B-link node. A node is created as either a leaf (level 0,
+// vals/slotV populated) or an inner node (level > 0, kids populated) and
+// never changes role. All fields except ver are guarded by mu; ver is
+// atomic so validation fast paths can poll it without the latch.
+type node[V any] struct {
+	mu sync.RWMutex
+	// ver counts mutations of this node's key set and payload. It is
+	// bumped under the write latch on every change (including the
+	// donor's shrink at a split) and seeded from the donor at a split,
+	// so the version a key's home leaf carries is monotone along the
+	// key's rightward movement chain — the property slot validation
+	// depends on.
+	ver atomic.Uint64
+	// level is 0 for leaves and parent level = child level + 1. It is
+	// immutable; root growth uses it to re-find a split node's parent
+	// when the descent stack has gone stale.
+	level int
+	n     int
+	keys  [maxKeys]int
+	// hi is the node's upper fence: the node covers keys < hi when hasHi
+	// is set; the rightmost node of a level has no fence. right is the
+	// B-link sibling covering [hi, …).
+	hasHi bool
+	hi    int
+	right *node[V]
+	// Leaf payload: vals[i] and slotV[i] ride with keys[i]. slotV is the
+	// node ver at the slot's last mutation — a comparable proxy for "this
+	// key's binding is unchanged" that survives the slot moving to a
+	// sibling at a split.
+	vals  [maxKeys]V
+	slotV [maxKeys]uint64
+	// Inner payload: kids[i] covers keys < keys[i]; kids[n] covers the
+	// rest of the node's range.
+	kids [maxKeys + 1]*node[V]
+}
+
+// search returns the index of key and true, or the insertion point and
+// false. Caller holds the latch (either mode).
+func (nd *node[V]) search(key int) (int, bool) {
+	for i := 0; i < nd.n; i++ {
+		if nd.keys[i] >= key {
+			return i, nd.keys[i] == key
+		}
+	}
+	return nd.n, false
+}
+
+// childFor returns the child covering key. Caller holds the latch and has
+// already chased right links, so key < hi here.
+func (nd *node[V]) childFor(key int) *node[V] {
+	for i := 0; i < nd.n; i++ {
+		if key < nd.keys[i] {
+			return nd.kids[i]
+		}
+	}
+	return nd.kids[nd.n]
+}
+
+// Tree is a transactional B+ tree mapping int keys to V values. All
+// transactional access goes through Get/Contains/Insert/Delete/Scan with
+// an active stm.Tx; Keys and CheckInvariants are quiescent helpers. A
+// Tree may be shared by every thread of one stm.Runtime; using it from
+// two runtimes at once is not supported (per-thread state is indexed by
+// the runtime's thread IDs).
+type Tree[V any] struct {
+	root atomic.Pointer[node[V]]
+	// smoMu serializes root growth only — the one structural operation
+	// that cannot be localized to a latched node. Never held together
+	// with a node latch.
+	smoMu sync.Mutex
+	locks lockTable
+	// states holds the per-thread transaction state, grown on demand
+	// under growMu and read lock-free (state()).
+	states atomic.Pointer[[]*txState[V]]
+	growMu sync.Mutex
+	// Structure-level stat counters, mirrored into the per-attempt
+	// telemetry tallies; tests read these for exact per-run numbers.
+	statSem, statSmo, statFalse atomic.Uint64
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	t := &Tree[V]{}
+	t.root.Store(&node[V]{level: 0})
+	empty := make([]*txState[V], 0)
+	t.states.Store(&empty)
+	return t
+}
+
+// Stats reports the tree's cumulative semantic-conflict, structural-op
+// and false-conflict-avoided counts (exact; the per-attempt telemetry
+// tallies mirror them modulo fold timing).
+func (t *Tree[V]) Stats() (semanticConflicts, structuralOps, falseConflictsAvoided uint64) {
+	return t.statSem.Load(), t.statSmo.Load(), t.statFalse.Load()
+}
+
+// leafFor descends to the leaf covering key and returns it read-latched.
+// The descent holds at most one latch at a time: nodes are never freed,
+// so dropping a parent before latching the child is safe, and the fence
+// check re-routes right whenever a split moved the key past the node.
+func (t *Tree[V]) leafFor(key int) *node[V] {
+	nd := t.root.Load()
+	for {
+		nd.mu.RLock()
+		for nd.hasHi && key >= nd.hi {
+			r := nd.right
+			nd.mu.RUnlock()
+			nd = r
+			nd.mu.RLock()
+		}
+		if nd.level == 0 {
+			return nd
+		}
+		next := nd.childFor(key)
+		nd.mu.RUnlock()
+		nd = next
+	}
+}
+
+// lookup reads key's current binding: the leaf it belongs to, that leaf's
+// version, and the slot's value/version/presence — everything a semantic
+// read entry records. Allocation-free.
+func (t *Tree[V]) lookup(key int) (leaf *node[V], leafVer uint64, val V, slotVer uint64, present bool) {
+	leaf = t.leafFor(key)
+	leafVer = leaf.ver.Load()
+	if i, ok := leaf.search(key); ok {
+		val, slotVer, present = leaf.vals[i], leaf.slotV[i], true
+	}
+	leaf.mu.RUnlock()
+	return
+}
+
+// recheck re-establishes a read entry's validity after its fast-path leaf
+// version moved: re-locate the key from the logged leaf via right links
+// (keys only move right) and compare presence and slot version. On
+// success the entry is promoted to the key's current home so subsequent
+// fast paths hit again. Returns false if the key's binding truly changed.
+func (e *readEnt[V]) recheck() bool {
+	nd := e.leaf
+	nd.mu.RLock()
+	for nd.hasHi && e.key >= nd.hi {
+		r := nd.right
+		nd.mu.RUnlock()
+		nd = r
+		nd.mu.RLock()
+	}
+	i, ok := nd.search(e.key)
+	same := ok == e.present && (!ok || nd.slotV[i] == e.slotVer)
+	if same {
+		e.leaf = nd
+		e.leafVer = nd.ver.Load()
+	}
+	nd.mu.RUnlock()
+	return same
+}
+
+// applyOp applies one committed buffered write to the physical tree:
+// delete-in-place, update-in-place, insert, or insert-with-split. It runs
+// after the owning attempt's commit point, while the attempt still holds
+// the key's lock-table entry, so no concurrent committer races it on the
+// same key. Structural work it triggers is counted but conflicts with
+// nobody.
+func (t *Tree[V]) applyOp(st *txState[V], key int, val V, del bool) {
+	// Descend once, remembering the inner path for a potential split's
+	// parent insertion. The stack may go stale under concurrent splits;
+	// insertParent compensates with right moves (and, for a vanished
+	// root, a level-bounded re-descent).
+	st.path = st.path[:0]
+	nd := t.root.Load()
+	for {
+		nd.mu.RLock()
+		for nd.hasHi && key >= nd.hi {
+			r := nd.right
+			nd.mu.RUnlock()
+			nd = r
+			nd.mu.RLock()
+		}
+		if nd.level == 0 {
+			nd.mu.RUnlock()
+			break
+		}
+		st.path = append(st.path, nd)
+		next := nd.childFor(key)
+		nd.mu.RUnlock()
+		nd = next
+	}
+	// Re-latch the leaf in write mode; a split may have moved the key
+	// right between the latch modes.
+	nd.mu.Lock()
+	for nd.hasHi && key >= nd.hi {
+		r := nd.right
+		nd.mu.Unlock()
+		nd = r
+		nd.mu.Lock()
+	}
+	i, ok := nd.search(key)
+	switch {
+	case del:
+		if ok {
+			copy(nd.keys[i:], nd.keys[i+1:nd.n])
+			copy(nd.vals[i:], nd.vals[i+1:nd.n])
+			copy(nd.slotV[i:], nd.slotV[i+1:nd.n])
+			nd.n--
+			var zero V
+			nd.vals[nd.n] = zero
+			nd.ver.Add(1)
+		}
+		nd.mu.Unlock()
+	case ok:
+		nd.vals[i] = val
+		nd.slotV[i] = nd.ver.Add(1)
+		nd.mu.Unlock()
+	case nd.n < maxKeys:
+		copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+		copy(nd.vals[i+1:nd.n+1], nd.vals[i:nd.n])
+		copy(nd.slotV[i+1:nd.n+1], nd.slotV[i:nd.n])
+		nd.keys[i], nd.vals[i] = key, val
+		nd.n++
+		nd.slotV[i] = nd.ver.Add(1)
+		nd.mu.Unlock()
+	default:
+		t.splitLeaf(st, nd, key, val)
+	}
+}
+
+// splitLeaf splits the full, write-latched leaf nd and inserts (key, val)
+// into the appropriate half. The sibling is fully built and linked before
+// the latch drops, so no traversal can observe a half-split leaf; the
+// separator then propagates up via insertParent.
+func (t *Tree[V]) splitLeaf(st *txState[V], nd *node[V], key int, val V) {
+	mid := maxKeys / 2
+	s := &node[V]{level: 0}
+	s.n = copy(s.keys[:], nd.keys[mid:nd.n])
+	copy(s.vals[:], nd.vals[mid:nd.n])
+	copy(s.slotV[:], nd.slotV[mid:nd.n])
+	s.hasHi, s.hi, s.right = nd.hasHi, nd.hi, nd.right
+	// Seed the sibling's version from the donor: any slot version already
+	// issued for a moved key stays below every version the sibling will
+	// issue, keeping slot versions monotone per key.
+	s.ver.Store(nd.ver.Load())
+	sep := nd.keys[mid]
+	var zero V
+	for i := mid; i < nd.n; i++ {
+		nd.vals[i] = zero
+	}
+	nd.n = mid
+	nd.hasHi, nd.hi, nd.right = true, sep, s
+	// Insert the pending key while the donor is still latched — the
+	// sibling is unreachable until the latch drops, so it needs no latch.
+	target := nd
+	if key >= sep {
+		target = s
+	}
+	i, _ := target.search(key)
+	copy(target.keys[i+1:target.n+1], target.keys[i:target.n])
+	copy(target.vals[i+1:target.n+1], target.vals[i:target.n])
+	copy(target.slotV[i+1:target.n+1], target.slotV[i:target.n])
+	target.keys[i], target.vals[i] = key, val
+	target.n++
+	target.slotV[i] = target.ver.Add(1)
+	if target == nd {
+		s.ver.Add(1)
+	} else {
+		nd.ver.Add(1)
+	}
+	nd.mu.Unlock()
+	st.countSMO()
+	t.insertParent(st, nd, sep, s)
+}
+
+// insertParent links a freshly split-off sibling into the split node's
+// parent, splitting upward as needed. left is the node that split; sep is
+// the promoted separator (the sibling's minimum key bound).
+func (t *Tree[V]) insertParent(st *txState[V], left *node[V], sep int, sibling *node[V]) {
+	for {
+		var p *node[V]
+		if n := len(st.path); n > 0 {
+			p = st.path[n-1]
+			st.path = st.path[:n-1]
+		} else if p = t.growRoot(st, left, sep, sibling); p == nil {
+			return
+		}
+		p.mu.Lock()
+		for p.hasHi && sep >= p.hi {
+			r := p.right
+			p.mu.Unlock()
+			p = r
+			p.mu.Lock()
+		}
+		i, _ := p.search(sep)
+		if p.n < maxKeys {
+			copy(p.keys[i+1:p.n+1], p.keys[i:p.n])
+			copy(p.kids[i+2:p.n+2], p.kids[i+1:p.n+1])
+			p.keys[i], p.kids[i+1] = sep, sibling
+			p.n++
+			p.ver.Add(1)
+			p.mu.Unlock()
+			return
+		}
+		// Inner split: promote the middle key; p keeps [0,mid), the new
+		// sibling takes (mid, n), and the pending (sep, child) lands in
+		// whichever side covers it before the latch drops.
+		mid := maxKeys / 2
+		psep := p.keys[mid]
+		s := &node[V]{level: p.level}
+		s.n = copy(s.keys[:], p.keys[mid+1:p.n])
+		copy(s.kids[:], p.kids[mid+1:p.n+1])
+		s.hasHi, s.hi, s.right = p.hasHi, p.hi, p.right
+		s.ver.Store(p.ver.Load())
+		p.n = mid
+		p.hasHi, p.hi, p.right = true, psep, s
+		target := p
+		if sep >= psep {
+			target = s
+		}
+		i, _ = target.search(sep)
+		copy(target.keys[i+1:target.n+1], target.keys[i:target.n])
+		copy(target.kids[i+2:target.n+2], target.kids[i+1:target.n+1])
+		target.keys[i], target.kids[i+1] = sep, sibling
+		target.n++
+		p.ver.Add(1)
+		s.ver.Add(1)
+		p.mu.Unlock()
+		st.countSMO()
+		left, sep, sibling = p, psep, s
+	}
+}
+
+// growRoot handles the stack-exhausted case of insertParent: left was the
+// root when the descent began. If it still is, a new root adopts the pair
+// and the split is complete (returns nil). Otherwise another thread grew
+// the tree first; re-descend from the current root to left's parent level
+// and return that node as the insertion parent.
+func (t *Tree[V]) growRoot(st *txState[V], left *node[V], sep int, sibling *node[V]) *node[V] {
+	t.smoMu.Lock()
+	if t.root.Load() == left {
+		nr := &node[V]{level: left.level + 1, n: 1}
+		nr.keys[0] = sep
+		nr.kids[0], nr.kids[1] = left, sibling
+		t.root.Store(nr)
+		t.smoMu.Unlock()
+		st.countSMO()
+		return nil
+	}
+	t.smoMu.Unlock()
+	nd := t.root.Load()
+	for {
+		nd.mu.RLock()
+		for nd.hasHi && sep >= nd.hi {
+			r := nd.right
+			nd.mu.RUnlock()
+			nd = r
+			nd.mu.RLock()
+		}
+		if nd.level == left.level+1 {
+			nd.mu.RUnlock()
+			return nd
+		}
+		next := nd.childFor(sep)
+		nd.mu.RUnlock()
+		nd = next
+	}
+}
+
+// leftmostLeaf returns the first leaf of the tree (quiescent helper).
+func (t *Tree[V]) leftmostLeaf() *node[V] {
+	nd := t.root.Load()
+	for nd.level > 0 {
+		nd.mu.RLock()
+		next := nd.kids[0]
+		nd.mu.RUnlock()
+		nd = next
+	}
+	return nd
+}
+
+// Keys returns a sorted snapshot of the key set, read non-transactionally;
+// call it only while no transactions run (tests and verification).
+func (t *Tree[V]) Keys() []int {
+	var out []int
+	for nd := t.leftmostLeaf(); nd != nil; {
+		nd.mu.RLock()
+		out = append(out, nd.keys[:nd.n]...)
+		next := nd.right
+		nd.mu.RUnlock()
+		nd = next
+	}
+	return out
+}
+
+// Len returns the number of keys, read non-transactionally (quiescent).
+func (t *Tree[V]) Len() int {
+	n := 0
+	for nd := t.leftmostLeaf(); nd != nil; {
+		nd.mu.RLock()
+		n += nd.n
+		next := nd.right
+		nd.mu.RUnlock()
+		nd = next
+	}
+	return n
+}
+
+// CheckInvariants verifies the B-link structure quiescently: keys sorted
+// and in-fence at every node, child levels consistent, sibling chains
+// fence-connected, and every inner separator equal to the low bound of
+// its right child's key range. The harness calls it after verification
+// runs; it must only run while no transactions are active.
+func (t *Tree[V]) CheckInvariants() error {
+	root := t.root.Load()
+	return t.checkNode(root, root.level, nil, false)
+}
+
+func (t *Tree[V]) checkNode(nd *node[V], level int, lo *int, hasLo bool) error {
+	if nd.level != level {
+		return fmt.Errorf("txbtree: node at level %d recorded level %d", level, nd.level)
+	}
+	for i := 0; i < nd.n; i++ {
+		if i > 0 && nd.keys[i-1] >= nd.keys[i] {
+			return fmt.Errorf("txbtree: unsorted keys at level %d: %d !< %d", level, nd.keys[i-1], nd.keys[i])
+		}
+		if hasLo && nd.keys[i] < *lo {
+			return fmt.Errorf("txbtree: key %d below low bound %d at level %d", nd.keys[i], *lo, level)
+		}
+		if nd.hasHi && nd.keys[i] >= nd.hi {
+			return fmt.Errorf("txbtree: key %d at/above fence %d at level %d", nd.keys[i], nd.hi, level)
+		}
+	}
+	if level == 0 {
+		return nil
+	}
+	for i := 0; i <= nd.n; i++ {
+		child := nd.kids[i]
+		if child == nil {
+			return fmt.Errorf("txbtree: nil child %d at level %d", i, level)
+		}
+		if child.level != level-1 {
+			return fmt.Errorf("txbtree: child level %d under level %d", child.level, level)
+		}
+		clo, chasLo := lo, hasLo
+		if i > 0 {
+			k := nd.keys[i-1]
+			clo, chasLo = &k, true
+		}
+		if err := t.checkNode(child, level-1, clo, chasLo); err != nil {
+			return err
+		}
+	}
+	return nil
+}

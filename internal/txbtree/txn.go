@@ -1,0 +1,338 @@
+package txbtree
+
+import (
+	"sort"
+
+	"wincm/internal/stm"
+)
+
+// readEnt is one semantic read-set entry. Item reads record the key's
+// binding at read time — its home leaf, that leaf's version, the slot's
+// version, and presence; range reads record a visited leaf, its version,
+// and the predicate bounds.
+type readEnt[V any] struct {
+	key     int
+	lo, hi  int // range entries only
+	leaf    *node[V]
+	leafVer uint64
+	slotVer uint64
+	present bool
+	isRange bool
+}
+
+// writeEnt is one buffered write: an upsert of (key, val) or a delete of
+// key. The write set holds at most one entry per key (later operations
+// overwrite earlier ones).
+type writeEnt[V any] struct {
+	key int
+	val V
+	del bool
+}
+
+// txState is one thread's per-attempt transaction state against one
+// tree: the semantic read and write sets, the lock entries acquired at
+// validation, and reusable traversal scratch. It is the tree's
+// stm.SemanticOps implementation; enter registers it with each new
+// attempt. Owner-thread-only.
+type txState[V any] struct {
+	tree *Tree[V]
+	tx   *stm.Tx
+	// word is the attempt's packed status word at registration; a
+	// mismatch against the live word marks a new attempt and resets the
+	// state (attempt serials strictly advance).
+	word     uint64
+	reads    []readEnt[V]
+	writes   []writeEnt[V]
+	acquired []*lockEntry
+	path     []*node[V]
+	scratch  []writeEnt[V] // range-scan merge buffer
+}
+
+var _ stm.SemanticOps = (*txState[int])(nil)
+
+// enter fetches the calling thread's state, resetting and re-registering
+// it on the first operation of each attempt and incrementally
+// revalidating the read set on subsequent ones (the opacity guard: a
+// stale read is discovered at the next tree operation, not at commit,
+// so user code never computes on two commit orders for long).
+func (t *Tree[V]) enter(tx *stm.Tx) *txState[V] {
+	tx.SemanticOpen()
+	st := t.state(tx.D.ThreadID)
+	if w := tx.StatusWord(); st.word != w {
+		st.word = w
+		st.tx = tx
+		st.reads = st.reads[:0]
+		st.writes = st.writes[:0]
+		st.acquired = st.acquired[:0]
+		tx.AddSemantic(st)
+	} else {
+		st.revalidate(tx)
+	}
+	return st
+}
+
+// state returns the per-thread state for thread id, growing the table on
+// demand. The fast path is one atomic load and an index.
+func (t *Tree[V]) state(id int) *txState[V] {
+	if s := *t.states.Load(); id < len(s) {
+		return s[id]
+	}
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	cur := *t.states.Load()
+	if id < len(cur) {
+		return cur[id]
+	}
+	grown := make([]*txState[V], id+1)
+	copy(grown, cur)
+	for i := len(cur); i <= id; i++ {
+		grown[i] = &txState[V]{tree: t}
+	}
+	t.states.Store(&grown)
+	return grown[id]
+}
+
+// revalidate re-checks the logged reads against the live tree (leaf
+// version fast path, key-level recheck slow path) and restarts the
+// attempt if any read's binding truly changed.
+func (st *txState[V]) revalidate(tx *stm.Tx) {
+	for i := range st.reads {
+		e := &st.reads[i]
+		if e.leaf.ver.Load() == e.leafVer {
+			continue
+		}
+		if e.isRange || !e.recheck() {
+			tx.AddSemanticConflicts(1)
+			st.tree.statSem.Add(1)
+			tx.RetryNow()
+		}
+		// Leaf churned but the key's binding held — a false conflict a
+		// node-granularity structure would have aborted on. The recheck
+		// promoted the entry, so commit-time validation fast-paths.
+		tx.AddFalseConflictsAvoided(1)
+		st.tree.statFalse.Add(1)
+	}
+}
+
+// bufGet looks key up in the private write set.
+func (st *txState[V]) bufGet(key int) (val V, del, found bool) {
+	for i := range st.writes {
+		if st.writes[i].key == key {
+			return st.writes[i].val, st.writes[i].del, true
+		}
+	}
+	return
+}
+
+// bufPut records an upsert or delete of key, overwriting any earlier
+// buffered operation on the same key.
+func (st *txState[V]) bufPut(key int, val V, del bool) {
+	for i := range st.writes {
+		if st.writes[i].key == key {
+			st.writes[i].val, st.writes[i].del = val, del
+			return
+		}
+	}
+	st.writes = append(st.writes, writeEnt[V]{key: key, val: val, del: del})
+}
+
+// countSMO tallies one structural modification (split or root growth)
+// into the attempt and the tree.
+func (st *txState[V]) countSMO() {
+	st.tx.AddStructuralOps(1)
+	st.tree.statSmo.Add(1)
+}
+
+// read performs the logged read of key: drain in-flight writers of the
+// key, read its binding, log the semantic read entry.
+func (st *txState[V]) read(tx *stm.Tx, key int) (V, bool) {
+	t := st.tree
+	if n := t.locks.probe(tx, key, stm.ReadWrite); n > 0 {
+		tx.AddSemanticConflicts(n)
+		t.statSem.Add(uint64(n))
+	}
+	leaf, leafVer, val, slotVer, present := t.lookup(key)
+	st.reads = append(st.reads, readEnt[V]{
+		key: key, leaf: leaf, leafVer: leafVer, slotVer: slotVer, present: present,
+	})
+	return val, present
+}
+
+// Get returns key's value inside tx, honoring the transaction's own
+// buffered writes. The steady-state path allocates nothing.
+func (t *Tree[V]) Get(tx *stm.Tx, key int) (V, bool) {
+	st := t.enter(tx)
+	if v, del, ok := st.bufGet(key); ok {
+		return v, !del
+	}
+	return st.read(tx, key)
+}
+
+// Contains reports whether key is present inside tx.
+func (t *Tree[V]) Contains(tx *stm.Tx, key int) bool {
+	_, ok := t.Get(tx, key)
+	return ok
+}
+
+// Insert upserts (key, val) inside tx, reporting whether the key was
+// absent. The write is buffered — the physical tree is untouched until
+// the attempt commits.
+func (t *Tree[V]) Insert(tx *stm.Tx, key int, val V) bool {
+	st := t.enter(tx)
+	var present bool
+	if _, del, ok := st.bufGet(key); ok {
+		present = !del
+	} else {
+		_, present = st.read(tx, key)
+	}
+	st.bufPut(key, val, false)
+	return !present
+}
+
+// Delete removes key inside tx, reporting whether it was present.
+func (t *Tree[V]) Delete(tx *stm.Tx, key int) bool {
+	st := t.enter(tx)
+	var present bool
+	if _, del, ok := st.bufGet(key); ok {
+		present = !del
+	} else {
+		_, present = st.read(tx, key)
+	}
+	var zero V
+	st.bufPut(key, zero, true)
+	return present
+}
+
+// Scan calls fn for each (key, value) with lo ≤ key < hi, in ascending
+// key order, honoring the transaction's buffered writes. It returns
+// early if fn returns false. The range predicate is protected against
+// phantoms: each visited leaf is logged with its version (strictly
+// validated at commit) and the commit-time sweep of the lock table
+// catches in-flight inserts of unseen keys.
+func (t *Tree[V]) Scan(tx *stm.Tx, lo, hi int, fn func(key int, val V) bool) {
+	if hi <= lo {
+		return
+	}
+	st := t.enter(tx)
+	st.scratch = st.scratch[:0]
+	nd := t.leafFor(lo)
+	for {
+		ndVer := nd.ver.Load()
+		for i := 0; i < nd.n; i++ {
+			if k := nd.keys[i]; k >= lo && k < hi {
+				st.scratch = append(st.scratch, writeEnt[V]{key: k, val: nd.vals[i]})
+			}
+		}
+		st.reads = append(st.reads, readEnt[V]{
+			lo: lo, hi: hi, leaf: nd, leafVer: ndVer, isRange: true,
+		})
+		if !nd.hasHi || nd.hi >= hi {
+			nd.mu.RUnlock()
+			break
+		}
+		next := nd.right
+		nd.mu.RUnlock()
+		nd = next
+		nd.mu.RLock()
+	}
+	// Overlay the private write set: upserts add or replace, deletes
+	// drop, then emit in key order.
+	for i := range st.writes {
+		w := &st.writes[i]
+		if w.key < lo || w.key >= hi {
+			continue
+		}
+		found := false
+		for j := range st.scratch {
+			if st.scratch[j].key == w.key {
+				st.scratch[j] = *w
+				found = true
+				break
+			}
+		}
+		if !found && !w.del {
+			st.scratch = append(st.scratch, *w)
+		}
+	}
+	sort.Slice(st.scratch, func(i, j int) bool { return st.scratch[i].key < st.scratch[j].key })
+	for i := range st.scratch {
+		if st.scratch[i].del {
+			continue
+		}
+		if !fn(st.scratch[i].key, st.scratch[i].val) {
+			return
+		}
+	}
+}
+
+// Validate implements stm.SemanticOps: acquire the key-level write locks
+// in sorted key order, then check every logged read while the locks pin
+// the write set — the same lock-then-validate order the lazy engine uses
+// for TVars, and sound for the same reason: once validation passes, no
+// conflicting commit can slip between it and the status CAS without
+// either hitting our locks or bumping a leaf version we checked.
+func (st *txState[V]) Validate(tx *stm.Tx) bool {
+	t := st.tree
+	if len(st.writes) > 1 {
+		sort.Slice(st.writes, func(i, j int) bool { return st.writes[i].key < st.writes[j].key })
+	}
+	for i := range st.writes {
+		e, n := t.locks.acquire(tx, st.writes[i].key)
+		st.acquired = append(st.acquired, e)
+		if n > 0 {
+			tx.AddSemanticConflicts(n)
+			t.statSem.Add(uint64(n))
+		}
+	}
+	for i := range st.reads {
+		e := &st.reads[i]
+		if e.isRange {
+			if n := t.locks.sweepRange(tx, e.lo, e.hi); n > 0 {
+				tx.AddSemanticConflicts(n)
+				t.statSem.Add(uint64(n))
+			}
+			if e.leaf.ver.Load() != e.leafVer {
+				tx.AddSemanticConflicts(1)
+				t.statSem.Add(1)
+				return false
+			}
+			continue
+		}
+		if n := t.locks.probe(tx, e.key, stm.ReadWrite); n > 0 {
+			tx.AddSemanticConflicts(n)
+			t.statSem.Add(uint64(n))
+		}
+		if e.leaf.ver.Load() == e.leafVer {
+			continue
+		}
+		if !e.recheck() {
+			tx.AddSemanticConflicts(1)
+			t.statSem.Add(1)
+			return false
+		}
+		// The leaf changed under the read but the key's binding did not:
+		// the abort a node-granularity conflict set would have taken.
+		tx.AddFalseConflictsAvoided(1)
+		t.statFalse.Add(1)
+	}
+	return true
+}
+
+// Finalize implements stm.SemanticOps: apply the buffered writes to the
+// physical tree if the attempt committed (splits and root growth happen
+// here, off every conflict set), then unlink the lock entries and reset.
+func (st *txState[V]) Finalize(tx *stm.Tx, committed bool) {
+	t := st.tree
+	if committed {
+		for i := range st.writes {
+			w := &st.writes[i]
+			t.applyOp(st, w.key, w.val, w.del)
+		}
+	}
+	for _, e := range st.acquired {
+		t.locks.release(e)
+	}
+	st.acquired = st.acquired[:0]
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+}
