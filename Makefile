@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory walcrash trace-smoke loc ci
+.PHONY: all build vet test race bench bench-check bench-baseline figures chaos theory walcrash trace-smoke kv-smoke loc ci
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txbtree/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/ ./internal/wal/
+	go test -race ./internal/stm/ ./internal/core/ ./internal/txmap/ ./internal/txbtree/ ./internal/txhash/ ./internal/chaos/ ./internal/bench/ ./internal/vacation/ ./internal/wal/ ./internal/kv/
 	go test -race -short ./internal/harness/
 
 # What the GitHub workflow runs (.github/workflows/ci.yml).
@@ -37,6 +37,7 @@ CORE_BENCH = 'BenchmarkFrameClockCommitParallel$$|BenchmarkDynamicManagerList/M1
 DURABLE_BENCH = 'BenchmarkDurableCommit$$'
 TRACE_BENCH = 'BenchmarkTraceOverhead/(off|sampled64)$$|BenchmarkTraceRecorderUnsampled$$'
 BTREE_BENCH = 'BenchmarkTxBTreeLookup$$|BenchmarkTxBTreeParallel/M(8|16)$$'
+KV_BENCH = 'BenchmarkKVLocalOp/(get|set)$$|BenchmarkKVPipelined$$'
 bench-check:
 	go test -run xxx -bench $(BASELINE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee /tmp/bench_new.txt
 	go test -run xxx -bench $(LAZY_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
@@ -44,11 +45,14 @@ bench-check:
 	go test -run xxx -bench $(BTREE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a /tmp/bench_new.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a /tmp/bench_new.txt
+	go test -run xxx -bench $(KV_BENCH) -benchmem -benchtime 1s -count 5 ./internal/kv/ | tee -a /tmp/bench_new.txt
 	go run ./cmd/benchcmp -threshold 0.10 bench_baseline.txt /tmp/bench_new.txt
 	grep 'BenchmarkTraceRecorderUnsampled' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 	grep 'BenchmarkLazyCommittedRead' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 	grep 'BenchmarkLazyCommittedWrite' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 	grep 'BenchmarkTxBTreeLookup' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
+	grep 'BenchmarkKVLocalOp/get' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
+	grep 'BenchmarkKVPipelined' /tmp/bench_new.txt | awk '{ if ($$NF != "allocs/op" || $$(NF-1) != 0) exit 1 }'
 
 # Refresh the checked-in baseline after an intentional performance change.
 bench-baseline:
@@ -58,6 +62,7 @@ bench-baseline:
 	go test -run xxx -bench $(BTREE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/bench/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(CORE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/core/ | tee -a bench_baseline.txt
 	go test -run xxx -bench $(DURABLE_BENCH) -benchmem -benchtime 1s -count 5 ./internal/harness/ | tee -a bench_baseline.txt
+	go test -run xxx -bench $(KV_BENCH) -benchmem -benchtime 1s -count 5 ./internal/kv/ | tee -a bench_baseline.txt
 
 # Reproduce the paper's figures (CI-scale; add -paper for the full regime).
 figures:
@@ -70,6 +75,23 @@ chaos:
 # Crash-recovery gate: >= 100 randomized crash points, all must recover.
 walcrash:
 	go run ./cmd/walcrash -seeds 8 -rounds 13
+
+# KV service smoke: winkv serves Zipfian winload traffic (including
+# cross-shard transactions), /metrics scrapes, commits flow, and the
+# watchdog never trips.
+kv-smoke:
+	go build -o /tmp/winkv-smoke ./cmd/winkv
+	go build -o /tmp/winload-smoke ./cmd/winload
+	/tmp/winkv-smoke -addr 127.0.0.1:7390 -shards 4 -threads 2 -metrics 127.0.0.1:7391 & \
+	KV=$$!; sleep 1; \
+	/tmp/winload-smoke -addr 127.0.0.1:7390 -sessions 8 -keys 100000 -theta 0.9 \
+		-dur 3s -depth 4 -mset 0.1 -mget 0.1 || { kill $$KV; exit 1; }; \
+	curl -fsS http://127.0.0.1:7391/metrics > /tmp/kv_metrics.out || { kill $$KV; exit 1; }; \
+	status=0; \
+	grep -q 'wincm_kv_shard_commits{shard="3"}' /tmp/kv_metrics.out || status=1; \
+	awk '/^wincm_kv_shard_commits/ { s += $$2 } END { exit (s > 0 ? 0 : 1) }' /tmp/kv_metrics.out || status=1; \
+	grep -q '^wincm_kv_watchdog_trips_total 0$$' /tmp/kv_metrics.out || status=1; \
+	kill -INT $$KV; wait $$KV; exit $$status
 
 # Flight-recorder smoke: a traced run must emit a Perfetto-loadable trace.
 trace-smoke:

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wincm/internal/kv"
+)
+
+// TestValidateServe is the flag-parse fail-fast table: positional
+// arguments, an empty address, and every invalid store option must be
+// rejected before a socket is opened, with messages naming the input.
+func TestValidateServe(t *testing.T) {
+	cases := []struct {
+		name    string
+		addr    string
+		args    []string
+		o       kv.Options
+		wantErr string // substring; empty = accept
+	}{
+		{"defaults", "127.0.0.1:0", nil, kv.Options{}, ""},
+		{"window manager with size", "127.0.0.1:0", nil,
+			kv.Options{Manager: "adaptive", WindowN: 32}, ""},
+		{"classic manager", "127.0.0.1:0", nil, kv.Options{Manager: "timestamp"}, ""},
+		{"positional args", "127.0.0.1:0", []string{"junk"}, kv.Options{}, "unexpected arguments"},
+		{"empty addr", "", nil, kv.Options{}, "-addr"},
+		{"bad shards", "127.0.0.1:0", nil, kv.Options{Shards: -4}, "Shards"},
+		{"bad threads", "127.0.0.1:0", nil, kv.Options{ShardThreads: -1}, "ShardThreads"},
+		{"unknown manager", "127.0.0.1:0", nil, kv.Options{Manager: "bogus"}, "bogus"},
+		{"window size on classic", "127.0.0.1:0", nil,
+			kv.Options{Manager: "karma", WindowN: 10}, "WindowN"},
+		{"unknown backend", "127.0.0.1:0", nil, kv.Options{Backend: "htm"}, "htm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServe(tc.addr, tc.args, tc.o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateServe = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("validateServe = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -117,6 +117,16 @@ func (m *Manager) Config() Config { return m.cfg }
 // CurrentFrame exposes the frame clock (tests, diagnostics).
 func (m *Manager) CurrentFrame() int64 { return m.clock.Current() }
 
+// Occupancy reports the frame clock's live scheduling state: how many
+// registered transactions are still pending in the current frame and
+// across all frames (dynamic mode; both zero for static configurations).
+// It is the per-shard occupancy signal the KV service exports, the same
+// numbers the wincm_window_frame_pending / _registered_pending gauges
+// sample.
+func (m *Manager) Occupancy() (curPending, totalPending int64) {
+	return m.clock.occupancy()
+}
+
 // SetFrameHook installs fn to be called with the new frame index after
 // every frame-clock advance. The durability layer (wincm/internal/wal)
 // uses it as the group-commit barrier: commits buffered during a frame are

@@ -1,0 +1,105 @@
+package kv
+
+import (
+	"net"
+	"testing"
+)
+
+// benchStore builds the benchmark store: 4 shards, 2 threads each, the
+// default window manager.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := NewStore(Options{Shards: 4, ShardThreads: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(st.Close)
+	return st
+}
+
+// BenchmarkKVLocalOp measures the in-process request path — session,
+// thread claim, STM transaction, tree operation, stats — without the
+// wire. The get path is the zero-alloc CI assert; the set path carries
+// the tree's one deliberate 32 B lock-entry allocation per written key
+// (see txbtree: the lock entry must survive the writer, so it is never
+// pooled).
+func BenchmarkKVLocalOp(b *testing.B) {
+	b.Run("get", func(b *testing.B) {
+		st := benchStore(b)
+		se := st.NewSession()
+		for k := int64(0); k < 1024; k++ {
+			se.Set(k, k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			se.Get(int64(i) & 1023)
+		}
+	})
+	b.Run("set", func(b *testing.B) {
+		st := benchStore(b)
+		se := st.NewSession()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			se.Set(int64(i)&1023, int64(i))
+		}
+	})
+	b.Run("mget4", func(b *testing.B) {
+		st := benchStore(b)
+		se := st.NewSession()
+		for k := int64(0); k < 1024; k++ {
+			se.Set(k, k)
+		}
+		keys := []int64{1, 257, 513, 769}
+		vals := make([]int64, 4)
+		present := make([]bool, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := se.MGet(keys, vals, present); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKVPipelined measures the full wire path over a loopback TCP
+// connection at pipeline depth 64: request encode, server parse,
+// transaction, reply encode, batched flush. Reported per operation.
+func BenchmarkKVPipelined(b *testing.B) {
+	st := benchStore(b)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := Serve(st, ln)
+	b.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	for k := int64(0); k < 1024; k++ {
+		if err := c.Set(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const depth = 64
+	var rep Reply
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += depth {
+		for j := 0; j < depth; j++ {
+			c.QueueGet(int64(i+j) & 1023)
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < depth; j++ {
+			if err := c.ReadReply(&rep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

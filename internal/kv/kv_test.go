@@ -1,0 +1,407 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wincm/internal/rng"
+)
+
+// testStore builds a small store, failing the test on error.
+func testStore(t *testing.T, o Options) *Store {
+	t.Helper()
+	st, err := NewStore(o)
+	if err != nil {
+		t.Fatalf("NewStore(%+v): %v", o, err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+// TestOptionsValidate is the fail-fast table: every configuration that
+// would silently do nothing (or cannot work) must be rejected before a
+// shard is built.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		ok   bool
+	}{
+		{"zero value (all defaults)", Options{}, true},
+		{"explicit window manager", Options{Manager: "online-dynamic", WindowN: 25}, true},
+		{"classic manager", Options{Manager: "karma"}, true},
+		{"lazy backend", Options{Backend: "lazy"}, true},
+		{"eager backend", Options{Backend: "eager"}, true},
+		{"negative shards", Options{Shards: -1}, false},
+		{"negative threads", Options{ShardThreads: -2}, false},
+		{"unknown manager", Options{Manager: "nope"}, false},
+		{"WindowN with classic manager", Options{Manager: "karma", WindowN: 10}, false},
+		{"negative WindowN", Options{WindowN: -5}, false},
+		{"unknown backend", Options{Backend: "speculative"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.o.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate = nil, want error")
+			}
+			// NewStore must agree with Validate (last fail-fast layer).
+			st, err := NewStore(tc.o)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("NewStore = %v, want ok", err)
+				}
+				st.Close()
+			} else if err == nil {
+				st.Close()
+				t.Fatal("NewStore accepted an invalid Options")
+			}
+		})
+	}
+}
+
+// TestShardRouting: the splitmix64 router must spread a dense key space
+// over every shard, and routing must be stable.
+func TestShardRouting(t *testing.T) {
+	st := testStore(t, Options{Shards: 8, ShardThreads: 1})
+	var hits [8]int
+	for k := int64(0); k < 4096; k++ {
+		s := st.shardOf(k)
+		if s != st.shardOf(k) {
+			t.Fatal("routing not stable")
+		}
+		hits[s]++
+	}
+	for i, h := range hits {
+		if h < 4096/8/2 || h > 4096/8*2 {
+			t.Fatalf("shard %d got %d of 4096 keys — router not spreading", i, h)
+		}
+	}
+}
+
+// TestModelSequential runs a deterministic random mix of every operation
+// against a map model and checks full agreement, including scans.
+func TestModelSequential(t *testing.T) {
+	st := testStore(t, Options{Shards: 4, ShardThreads: 2, Seed: 7})
+	se := st.NewSession()
+	model := make(map[int64]int64)
+	r := rng.New(42)
+	const keySpace = 512
+	for i := 0; i < 4000; i++ {
+		k := int64(r.Uint64n(keySpace))
+		switch r.Uint64n(10) {
+		case 0, 1, 2: // set
+			v := int64(r.Uint64())
+			se.Set(k, v)
+			model[k] = v
+		case 3: // del
+			got := se.Del(k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("op %d: Del(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 4, 5, 6: // get
+			got, ok := se.Get(k)
+			want, wok := model[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", i, k, got, ok, want, wok)
+			}
+		case 7: // mset of up to 8 pairs
+			n := int(r.Uint64n(8)) + 1
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for j := range keys {
+				keys[j] = int64(r.Uint64n(keySpace))
+				vals[j] = int64(r.Uint64())
+			}
+			if err := se.MSet(keys, vals); err != nil {
+				t.Fatalf("MSet: %v", err)
+			}
+			for j := range keys {
+				model[keys[j]] = vals[j] // later duplicate overwrites, like MSet
+			}
+		case 8: // mget of up to 8 keys
+			n := int(r.Uint64n(8)) + 1
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			present := make([]bool, n)
+			for j := range keys {
+				keys[j] = int64(r.Uint64n(keySpace))
+			}
+			if err := se.MGet(keys, vals, present); err != nil {
+				t.Fatalf("MGet: %v", err)
+			}
+			for j, k := range keys {
+				want, wok := model[k]
+				if present[j] != wok || (wok && vals[j] != want) {
+					t.Fatalf("op %d: MGet[%d]=%d,%v want %d,%v", i, k, vals[j], present[j], want, wok)
+				}
+			}
+		case 9: // scan a random window
+			lo := int64(r.Uint64n(keySpace))
+			hi := lo + int64(r.Uint64n(64)) + 1
+			n, err := se.Scan(lo, hi, MaxScanSpan)
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			wantN := 0
+			for k := lo; k < hi; k++ {
+				if _, ok := model[k]; ok {
+					wantN++
+				}
+			}
+			if n != wantN {
+				t.Fatalf("op %d: Scan[%d,%d) = %d pairs, want %d", i, lo, hi, n, wantN)
+			}
+			keys, vals := se.ScanKeys(), se.ScanVals()
+			for j := 0; j < n; j++ {
+				if j > 0 && keys[j] <= keys[j-1] {
+					t.Fatalf("scan keys not ascending: %v", keys[:n])
+				}
+				if model[keys[j]] != vals[j] {
+					t.Fatalf("scan pair %d=%d, want %d", keys[j], vals[j], model[keys[j]])
+				}
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	if len(stats.PerShard) != 4 {
+		t.Fatalf("PerShard = %d entries", len(stats.PerShard))
+	}
+}
+
+// TestScanLimitsAndErrors covers the scan guard rails.
+func TestScanLimitsAndErrors(t *testing.T) {
+	st := testStore(t, Options{Shards: 2, ShardThreads: 1})
+	se := st.NewSession()
+	for k := int64(0); k < 100; k++ {
+		se.Set(k, k*10)
+	}
+	n, err := se.Scan(10, 20, 5)
+	if err != nil || n != 5 {
+		t.Fatalf("Scan limit: n=%d err=%v", n, err)
+	}
+	for i, k := range se.ScanKeys() {
+		if k != int64(10+i) || se.ScanVals()[i] != k*10 {
+			t.Fatalf("limited scan pair %d: %d=%d", i, k, se.ScanVals()[i])
+		}
+	}
+	if _, err := se.Scan(5, 5, 10); err != ErrScanRange {
+		t.Fatalf("empty range: %v", err)
+	}
+	if _, err := se.Scan(10, 5, 10); err != ErrScanRange {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err := se.Scan(0, MaxScanSpan+1, 10); err != ErrScanSpan {
+		t.Fatalf("oversized span: %v", err)
+	}
+	if _, err := se.Scan(0, 10, 0); err != ErrScanRange {
+		t.Fatalf("zero limit: %v", err)
+	}
+}
+
+// TestMultiKeyErrors covers the multi-key guard rails.
+func TestMultiKeyErrors(t *testing.T) {
+	st := testStore(t, Options{Shards: 2, ShardThreads: 1})
+	se := st.NewSession()
+	big := make([]int64, MaxMultiKeys+1)
+	if err := se.MSet(big, big); err != ErrTooManyKeys {
+		t.Fatalf("oversized MSet: %v", err)
+	}
+	if err := se.MGet(big, big, make([]bool, len(big))); err != ErrTooManyKeys {
+		t.Fatalf("oversized MGet: %v", err)
+	}
+	if err := se.MSet([]int64{1, 2}, []int64{1}); err != ErrBadArgs {
+		t.Fatalf("short vals: %v", err)
+	}
+	if err := se.MGet([]int64{1, 2}, make([]int64, 2), make([]bool, 1)); err != ErrBadArgs {
+		t.Fatalf("short present: %v", err)
+	}
+	if err := se.MSet(nil, nil); err != nil {
+		t.Fatalf("empty MSet: %v", err)
+	}
+	// Duplicate keys: last value wins.
+	if err := se.MSet([]int64{9, 9}, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := se.Get(9); !ok || v != 2 {
+		t.Fatalf("duplicate-key MSet left %d,%v", v, ok)
+	}
+}
+
+// adversarialPair finds two keys routed to different shards — the
+// smallest possible cross-shard transaction.
+func adversarialPair(st *Store) (int64, int64) {
+	a := int64(0)
+	for b := int64(1); ; b++ {
+		if st.shardOf(b) != st.shardOf(a) {
+			return a, b
+		}
+	}
+}
+
+// TestCrossShardAtomicity is the equal-pair invariant: writers atomically
+// MSet {a: x, b: -x}; concurrent MGet readers must always observe
+// v(a) + v(b) == 0. A torn cross-shard commit would surface immediately.
+// Run under -race this also exercises the lock ordering.
+func TestCrossShardAtomicity(t *testing.T) {
+	st := testStore(t, Options{Shards: 4, ShardThreads: 2, Seed: 11})
+	a, b := adversarialPair(st)
+	init := st.NewSession()
+	if err := init.MSet([]int64{a, b}, []int64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, iters = 3, 3, 400
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			se := st.NewSession()
+			keys := []int64{a, b}
+			for i := 1; i <= iters; i++ {
+				x := int64(id*iters + i)
+				if err := se.MSet(keys, []int64{x, -x}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			se := st.NewSession()
+			keys := []int64{a, b}
+			vals := make([]int64, 2)
+			present := make([]bool, 2)
+			for i := 0; i < iters; i++ {
+				if err := se.MGet(keys, vals, present); err != nil {
+					errs <- err
+					return
+				}
+				if !present[0] || !present[1] || vals[0]+vals[1] != 0 {
+					t.Errorf("torn read: a=%d(%v) b=%d(%v)", vals[0], present[0], vals[1], present[1])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossShardLiveness mixes single-key traffic, cross-shard writers
+// and cross-shard readers over adversarial key pairs on every shard
+// boundary, and requires the whole mix to finish (deadlock-freedom of
+// the ordered acquire) with aborts routed through the contention
+// managers (the watchdog must never trip).
+func TestCrossShardLiveness(t *testing.T) {
+	st := testStore(t, Options{Shards: 4, ShardThreads: 2, Interleave: 4, Seed: 3})
+	a, b := adversarialPair(st)
+	const n = 8
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			se := st.NewSession()
+			keys := []int64{a, b}
+			vals := make([]int64, 2)
+			present := make([]bool, 2)
+			for i := 0; i < 300; i++ {
+				switch (id + i) % 4 {
+				case 0:
+					se.Set(a, int64(i))
+				case 1:
+					se.Get(b)
+				case 2:
+					se.MSet(keys, []int64{int64(i), int64(-i)})
+				case 3:
+					se.MGet(keys, vals, present)
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cross-shard mix did not finish: possible deadlock")
+	}
+	stats := st.Stats()
+	if stats.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if stats.WatchdogTrips != 0 {
+		t.Fatalf("watchdog tripped %d times — conflicts not resolving through the CM", stats.WatchdogTrips)
+	}
+	t.Logf("commits=%d aborts=%d", stats.Commits, stats.Aborts)
+}
+
+// TestSingleShardContention hammers one hot key from every thread of a
+// one-shard store: conflicts must resolve through the CM (commits equal
+// the op count; no watchdog trips).
+func TestSingleShardContention(t *testing.T) {
+	st := testStore(t, Options{Shards: 1, ShardThreads: 4, Interleave: 2, Seed: 5})
+	const goroutines, ops = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			se := st.NewSession()
+			for i := 0; i < ops; i++ {
+				se.Set(1, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	stats := st.Stats()
+	if stats.Commits != goroutines*ops {
+		t.Fatalf("commits = %d, want %d", stats.Commits, goroutines*ops)
+	}
+	if stats.WatchdogTrips != 0 {
+		t.Fatalf("watchdog tripped %d times", stats.WatchdogTrips)
+	}
+}
+
+// TestLazyBackendStore runs the model smoke over the lazy engine too —
+// the kv layer must be engine-agnostic.
+func TestLazyBackendStore(t *testing.T) {
+	st := testStore(t, Options{Shards: 2, ShardThreads: 2, Backend: "lazy"})
+	se := st.NewSession()
+	for k := int64(0); k < 200; k++ {
+		se.Set(k, k+1000)
+	}
+	for k := int64(0); k < 200; k++ {
+		if v, ok := se.Get(k); !ok || v != k+1000 {
+			t.Fatalf("lazy Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if err := se.MSet([]int64{5, 105}, []int64{-5, -105}); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 2)
+	present := make([]bool, 2)
+	if err := se.MGet([]int64{5, 105}, vals, present); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != -5 || vals[1] != -105 {
+		t.Fatalf("lazy MGet = %v", vals)
+	}
+}

@@ -1,0 +1,161 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParseRequest is the protocol parse table: every command form,
+// case folding, \r tolerance, and every rejection.
+func TestParseRequest(t *testing.T) {
+	cases := []struct {
+		name  string
+		line  string
+		err   error
+		check func(t *testing.T, r *request)
+	}{
+		{"ping", "PING", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdPing {
+				t.Fatalf("cmd = %d", r.cmd)
+			}
+		}},
+		{"ping lowercase", "ping", nil, nil},
+		{"get", "GET 42", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdGet || r.key != 42 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"get negative key", "GET -7", nil, func(t *testing.T, r *request) {
+			if r.key != -7 {
+				t.Fatalf("key = %d", r.key)
+			}
+		}},
+		{"get trailing cr", "GET 42\r", nil, func(t *testing.T, r *request) {
+			if r.key != 42 {
+				t.Fatalf("key = %d", r.key)
+			}
+		}},
+		{"get extra spaces", "GET   42  ", nil, func(t *testing.T, r *request) {
+			if r.key != 42 {
+				t.Fatalf("key = %d", r.key)
+			}
+		}},
+		{"set", "SET 1 -2", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdSet || r.key != 1 || r.val != -2 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"del", "del 9", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdDel || r.key != 9 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"mget", "MGET 1 2 3", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdMGet || r.nk != 3 || r.keys[2] != 3 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"mset", "MSET 1 10 2 20", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdMSet || r.nk != 2 || r.keys[1] != 2 || r.vals[1] != 20 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"scan", "SCAN 0 100 10", nil, func(t *testing.T, r *request) {
+			if r.cmd != cmdScan || r.lo != 0 || r.hi != 100 || r.limit != 10 {
+				t.Fatalf("%+v", r)
+			}
+		}},
+		{"min int64", "GET -9223372036854775808", nil, func(t *testing.T, r *request) {
+			if r.key != -1<<63 {
+				t.Fatalf("key = %d", r.key)
+			}
+		}},
+		{"empty", "", errEmpty, nil},
+		{"spaces only", "   ", errEmpty, nil},
+		{"unknown", "HELLO", errUnknown, nil},
+		{"get no key", "GET", errArgCount, nil},
+		{"get two keys", "GET 1 2", errArgCount, nil},
+		{"set one arg", "SET 1", errArgCount, nil},
+		{"set extra arg", "SET 1 2 3", errArgCount, nil},
+		{"mget empty", "MGET", errArgCount, nil},
+		{"mset odd args", "MSET 1 10 2", errArgCount, nil},
+		{"scan short", "SCAN 0 100", errArgCount, nil},
+		{"bad int", "GET abc", errBadInt, nil},
+		{"overflow", "GET 99999999999999999999", errBadInt, nil},
+		{"bare sign", "GET -", errBadInt, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req request
+			err := parseRequest([]byte(tc.line), &req)
+			if err != tc.err {
+				t.Fatalf("parse(%q) = %v, want %v", tc.line, err, tc.err)
+			}
+			if tc.check != nil && err == nil {
+				tc.check(t, &req)
+			}
+		})
+	}
+}
+
+// TestParseTooManyKeys: the parser enforces MaxMultiKeys.
+func TestParseTooManyKeys(t *testing.T) {
+	var line bytes.Buffer
+	line.WriteString("MGET")
+	for i := 0; i <= MaxMultiKeys; i++ {
+		line.WriteString(" 1")
+	}
+	var req request
+	if err := parseRequest(line.Bytes(), &req); err != errTooMany {
+		t.Fatalf("err = %v, want %v", err, errTooMany)
+	}
+}
+
+// TestReplyEncoders checks the exact wire bytes of every reply shape.
+func TestReplyEncoders(t *testing.T) {
+	cases := []struct {
+		got  []byte
+		want string
+	}{
+		{appendSimple(nil, "OK"), "+OK\r\n"},
+		{appendInt(nil, 0), ":0\r\n"},
+		{appendInt(nil, -42), ":-42\r\n"},
+		{appendInt(nil, 1<<63 - 1), ":9223372036854775807\r\n"},
+		{appendInt(nil, -1<<63), ":-9223372036854775808\r\n"},
+		{appendNil(nil), "$-1\r\n"},
+		{appendArray(nil, 3), "*3\r\n"},
+		{appendError(nil, "boom"), "-ERR boom\r\n"},
+	}
+	for _, tc := range cases {
+		if string(tc.got) != tc.want {
+			t.Errorf("encoded %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+// TestProtoRoundTrip: every request the client queues must parse back to
+// the same staged request — the two ends share one grammar.
+func TestProtoRoundTrip(t *testing.T) {
+	c := &Client{wbuf: make([]byte, 0, 256)}
+	c.QueueSet(-3, 77)
+	c.QueueGet(-3)
+	c.QueueMSet([]int64{1, 2}, []int64{10, 20})
+	c.QueueMGet([]int64{1, 2, 3})
+	c.QueueScan(0, 50, 5)
+	c.QueueDel(1)
+	c.QueuePing()
+	lines := bytes.Split(bytes.TrimSuffix(c.wbuf, []byte("\n")), []byte("\n"))
+	wantCmds := []cmdKind{cmdSet, cmdGet, cmdMSet, cmdMGet, cmdScan, cmdDel, cmdPing}
+	if len(lines) != len(wantCmds) {
+		t.Fatalf("queued %d lines, want %d", len(lines), len(wantCmds))
+	}
+	for i, line := range lines {
+		var req request
+		if err := parseRequest(line, &req); err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		if req.cmd != wantCmds[i] {
+			t.Fatalf("line %d parsed as cmd %d, want %d", i, req.cmd, wantCmds[i])
+		}
+	}
+}

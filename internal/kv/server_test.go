@@ -1,0 +1,215 @@
+package kv
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"wincm/internal/telemetry"
+)
+
+// startServer brings up a store and server on a loopback listener.
+func startServer(t *testing.T, o Options) (*Store, *Server) {
+	t.Helper()
+	st := testStore(t, o)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(st, ln)
+	t.Cleanup(func() { srv.Close() })
+	return st, srv
+}
+
+// TestServerEndToEnd exercises every command over a real TCP connection.
+func TestServerEndToEnd(t *testing.T) {
+	_, srv := startServer(t, Options{Shards: 4, ShardThreads: 2})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("PING: %v", err)
+	}
+	if _, ok, err := c.Get(1); err != nil || ok {
+		t.Fatalf("GET missing = %v, %v", ok, err)
+	}
+	if err := c.Set(1, 100); err != nil {
+		t.Fatalf("SET: %v", err)
+	}
+	if v, ok, err := c.Get(1); err != nil || !ok || v != 100 {
+		t.Fatalf("GET = %d,%v,%v", v, ok, err)
+	}
+	if err := c.MSet([]int64{2, 3, 4}, []int64{20, 30, 40}); err != nil {
+		t.Fatalf("MSET: %v", err)
+	}
+	vals, present, err := c.MGet([]int64{1, 2, 9})
+	if err != nil {
+		t.Fatalf("MGET: %v", err)
+	}
+	if !present[0] || vals[0] != 100 || !present[1] || vals[1] != 20 || present[2] {
+		t.Fatalf("MGET = %v %v", vals, present)
+	}
+	keys, vals2, err := c.Scan(0, 10, 100)
+	if err != nil {
+		t.Fatalf("SCAN: %v", err)
+	}
+	if len(keys) != 4 || keys[0] != 1 || vals2[3] != 40 {
+		t.Fatalf("SCAN = %v %v", keys, vals2)
+	}
+	if gone, err := c.Del(1); err != nil || !gone {
+		t.Fatalf("DEL = %v,%v", gone, err)
+	}
+	if gone, err := c.Del(1); err != nil || gone {
+		t.Fatalf("second DEL = %v,%v", gone, err)
+	}
+}
+
+// TestServerErrors: malformed requests get -ERR replies and the
+// connection keeps working.
+func TestServerErrors(t *testing.T) {
+	_, srv := startServer(t, Options{Shards: 2, ShardThreads: 1})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, bad := range []string{"HELLO\n", "GET\n", "GET x\n", "SCAN 0 99999 10\n", "\n"} {
+		if _, err := c.conn.Write([]byte(bad)); err != nil {
+			t.Fatal(err)
+		}
+		var rep Reply
+		if err := c.ReadReply(&rep); err != nil {
+			t.Fatalf("reading reply to %q: %v", bad, err)
+		}
+		if rep.Kind != ReplyError {
+			t.Fatalf("reply to %q = kind %d, want error", bad, rep.Kind)
+		}
+	}
+	// Still alive.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("PING after errors: %v", err)
+	}
+}
+
+// TestServerPipelined queues a deep batch before reading anything: the
+// server must batch replies and answer in order.
+func TestServerPipelined(t *testing.T) {
+	_, srv := startServer(t, Options{Shards: 4, ShardThreads: 2})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const depth = 256
+	for i := 0; i < depth; i++ {
+		c.QueueSet(int64(i), int64(i*2))
+	}
+	for i := 0; i < depth; i++ {
+		c.QueueGet(int64(i))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var rep Reply
+	for i := 0; i < depth; i++ {
+		if err := c.ReadReply(&rep); err != nil || rep.Kind != ReplySimple {
+			t.Fatalf("SET reply %d: %v kind %d", i, err, rep.Kind)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		if err := c.ReadReply(&rep); err != nil || rep.Kind != ReplyInt || rep.Int != int64(i*2) {
+			t.Fatalf("GET reply %d = %d (kind %d, err %v), want %d", i, rep.Int, rep.Kind, err, i*2)
+		}
+	}
+}
+
+// TestServerConcurrentClients: many connections hammering overlapping
+// keys, including cross-shard MSETs, all finish and the store stays
+// consistent.
+func TestServerConcurrentClients(t *testing.T) {
+	st, srv := startServer(t, Options{Shards: 4, ShardThreads: 2, Interleave: 4})
+	const clients = 6
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 150; i++ {
+				k := int64(i % 10)
+				switch i % 3 {
+				case 0:
+					if err := c.Set(k, int64(id)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := c.Get(k); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if err := c.MSet([]int64{k, k + 100}, []int64{int64(i), int64(-i)}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if stats := st.Stats(); stats.Commits == 0 || stats.WatchdogTrips != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestStoreGauges wires the store into a telemetry registry and checks
+// the labeled per-shard series render and move.
+func TestStoreGauges(t *testing.T) {
+	st := testStore(t, Options{Shards: 2, ShardThreads: 1})
+	r := telemetry.NewRegistry()
+	RegisterStoreGauges(r, st)
+	se := st.NewSession()
+	for k := int64(0); k < 64; k++ {
+		se.Set(k, k)
+	}
+	snap := r.Snapshot()
+	var commits float64
+	for i := 0; i < 2; i++ {
+		commits += snap.Gauges[`wincm_kv_shard_commits{shard="`+string(rune('0'+i))+`"}`]
+	}
+	if commits != 64 {
+		t.Fatalf("summed shard commit gauges = %v, want 64", commits)
+	}
+	if snap.Gauges["wincm_kv_shards"] != 2 {
+		t.Fatalf("shard-count gauge = %v", snap.Gauges["wincm_kv_shards"])
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`wincm_kv_shard_commits{shard="0"}`,
+		`wincm_kv_shard_commits{shard="1"}`,
+		`wincm_kv_shard_aborts{shard="0"}`,
+		`wincm_kv_shard_occupancy{shard="1"}`,
+		"wincm_kv_watchdog_trips_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE wincm_kv_shard_commits gauge"); got != 1 {
+		t.Fatalf("TYPE header count = %d", got)
+	}
+}

@@ -1,0 +1,227 @@
+package kv
+
+import (
+	"errors"
+	"sort"
+
+	"wincm/internal/stm"
+)
+
+// MaxMultiKeys bounds the key count of one multi-key transaction (MGET /
+// MSET): enough for real batching, small enough that the session's
+// fixed staging arrays stay a few cache lines.
+const MaxMultiKeys = 64
+
+// MaxScanSpan bounds a range scan's key span (hi − lo): a scan must
+// visit every shard, so an unbounded span would let one request hold
+// every shard's read lock for arbitrary work.
+const MaxScanSpan = 4096
+
+// Preallocated request errors — the request path reports misuse without
+// allocating.
+var (
+	ErrTooManyKeys = errors.New("kv: multi-key operation exceeds MaxMultiKeys")
+	ErrScanSpan    = errors.New("kv: scan span exceeds MaxScanSpan")
+	ErrScanRange   = errors.New("kv: scan needs lo < hi and limit > 0")
+	ErrBadArgs     = errors.New("kv: output slices shorter than key slice")
+)
+
+// opKind selects what Session.exec does inside the claimed thread's
+// transaction.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opDel
+	opMGet
+	opMSet
+	opScan
+)
+
+// Session is the per-connection (or per-worker) operation surface of a
+// Store. A session is single-goroutine; it owns one persistent
+// transaction closure and fixed scratch arrays, so the steady-state
+// single-shard request path — claim thread, run the transaction, record,
+// release — allocates nothing. Sessions are cheap; make one per
+// connection.
+type Session struct {
+	st *Store
+	// sh is the shard of the sub-transaction currently executing; op and
+	// the fields below stage the operation for exec.
+	sh  *shard
+	op  opKind
+	key int64
+	val int64
+	res int64
+	ok  bool
+
+	// Multi-key staging: keys/vals/ok by position, the routed shard of
+	// each key, and the sorted unique involved-shard list.
+	nk     int
+	mkeys  [MaxMultiKeys]int64
+	mvals  [MaxMultiKeys]int64
+	mok    [MaxMultiKeys]bool
+	mshard [MaxMultiKeys]int32
+	shlist []int
+
+	// Scan staging: bounds, per-shard append base (retry of one shard's
+	// sub-transaction must reset only that shard's results), and the
+	// merged result pairs.
+	lo, hi   int64
+	scanBase int
+	scanKeys []int64
+	scanVals []int64
+	sorter   sort.Interface
+
+	// fn is the persistent transaction body (captures only the session),
+	// scanFn the persistent tree.Scan callback.
+	fn     func(*stm.Tx)
+	scanFn func(int, int64) bool
+}
+
+// NewSession builds an operation surface over the store.
+func (st *Store) NewSession() *Session {
+	se := &Session{st: st, shlist: make([]int, 0, st.Shards())}
+	se.fn = func(tx *stm.Tx) { se.exec(tx) }
+	se.scanFn = func(k int, v int64) bool {
+		se.scanKeys = append(se.scanKeys, int64(k))
+		se.scanVals = append(se.scanVals, v)
+		return true
+	}
+	se.sorter = scanSorter{se}
+	return se
+}
+
+// exec is the transaction body of every operation: it runs (possibly
+// several times, under abort/retry) on a thread of se.sh with the staged
+// operation. Outputs are plain overwrites, so a retried attempt leaves
+// no residue.
+func (se *Session) exec(tx *stm.Tx) {
+	t := se.sh.tree
+	switch se.op {
+	case opGet:
+		se.res, se.ok = t.Get(tx, int(se.key))
+	case opSet:
+		t.Insert(tx, int(se.key), se.val)
+	case opDel:
+		se.ok = t.Delete(tx, int(se.key))
+	case opMGet:
+		idx := int32(se.sh.idx)
+		for i := 0; i < se.nk; i++ {
+			if se.mshard[i] == idx {
+				se.mvals[i], se.mok[i] = t.Get(tx, int(se.mkeys[i]))
+			}
+		}
+	case opMSet:
+		idx := int32(se.sh.idx)
+		for i := 0; i < se.nk; i++ {
+			if se.mshard[i] == idx {
+				t.Insert(tx, int(se.mkeys[i]), se.mvals[i])
+			}
+		}
+	case opScan:
+		// Reset to this shard's base: an aborted attempt re-appends.
+		se.scanKeys = se.scanKeys[:se.scanBase]
+		se.scanVals = se.scanVals[:se.scanBase]
+		t.Scan(tx, int(se.lo), int(se.hi), se.scanFn)
+	}
+}
+
+// runOn executes the staged operation as one STM transaction on a
+// claimed thread of sh and folds the outcome into the shard's stats.
+func (se *Session) runOn(sh *shard) {
+	se.sh = sh
+	th := sh.claim()
+	info := th.Atomic(se.fn)
+	sh.record(th, info)
+	sh.release(th)
+}
+
+// runSingle is the single-shard path: the shard's cross-shard lock is
+// taken in read mode, so the operation can never observe (or interleave
+// into) a half-applied multi-shard commit, while single-shard operations
+// on the same shard still run fully concurrently — their isolation is
+// the STM's job, not the lock's.
+func (se *Session) runSingle(sh *shard) {
+	sh.xmu.RLock()
+	se.runOn(sh)
+	sh.xmu.RUnlock()
+}
+
+// Get returns key's committed value.
+func (se *Session) Get(key int64) (int64, bool) {
+	se.op, se.key = opGet, key
+	se.runSingle(se.st.shards[se.st.shardOf(key)])
+	return se.res, se.ok
+}
+
+// Set upserts key to val.
+func (se *Session) Set(key, val int64) {
+	se.op, se.key, se.val = opSet, key, val
+	se.runSingle(se.st.shards[se.st.shardOf(key)])
+}
+
+// Del removes key, reporting whether it was present.
+func (se *Session) Del(key int64) bool {
+	se.op, se.key = opDel, key
+	se.runSingle(se.st.shards[se.st.shardOf(key)])
+	return se.ok
+}
+
+// scanSorter sorts the merged scan pairs by key (sort.Sort on a
+// persistent field: no per-scan allocation).
+type scanSorter struct{ se *Session }
+
+func (s scanSorter) Len() int { return len(s.se.scanKeys) }
+func (s scanSorter) Less(i, j int) bool {
+	return s.se.scanKeys[i] < s.se.scanKeys[j]
+}
+func (s scanSorter) Swap(i, j int) {
+	k, v := s.se.scanKeys, s.se.scanVals
+	k[i], k[j] = k[j], k[i]
+	v[i], v[j] = v[j], v[i]
+}
+
+// Scan collects up to limit key/value pairs with lo ≤ key < hi in
+// ascending key order and returns the count; read the pairs from
+// ScanKeys/ScanVals (valid until the session's next operation). Keys are
+// hash-routed, so the range spans every shard: Scan is a cross-shard
+// read transaction — all shard locks in read mode, ascending, one
+// sub-scan per shard — then a merge sort of the per-shard results.
+func (se *Session) Scan(lo, hi int64, limit int) (int, error) {
+	if hi <= lo || limit <= 0 {
+		return 0, ErrScanRange
+	}
+	if hi-lo > MaxScanSpan {
+		return 0, ErrScanSpan
+	}
+	se.op, se.lo, se.hi = opScan, lo, hi
+	se.scanKeys = se.scanKeys[:0]
+	se.scanVals = se.scanVals[:0]
+	shards := se.st.shards
+	for _, sh := range shards {
+		sh.xmu.RLock()
+	}
+	for _, sh := range shards {
+		se.scanBase = len(se.scanKeys)
+		se.runOn(sh)
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		shards[i].xmu.RUnlock()
+	}
+	sort.Sort(se.sorter)
+	n := len(se.scanKeys)
+	if n > limit {
+		n = limit
+		se.scanKeys = se.scanKeys[:n]
+		se.scanVals = se.scanVals[:n]
+	}
+	return n, nil
+}
+
+// ScanKeys returns the keys of the last Scan, in ascending order.
+func (se *Session) ScanKeys() []int64 { return se.scanKeys }
+
+// ScanVals returns the values of the last Scan, aligned with ScanKeys.
+func (se *Session) ScanVals() []int64 { return se.scanVals }

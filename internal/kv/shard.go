@@ -1,0 +1,148 @@
+package kv
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wincm/internal/cm"
+	"wincm/internal/core"
+	"wincm/internal/stm"
+	"wincm/internal/txbtree"
+)
+
+// statSlot is one (shard, thread) outcome cell. A slot is single-writer:
+// only the session currently holding that thread updates it (load+store,
+// no RMW), the same discipline as the telemetry counters. Padded so
+// adjacent threads' slots never share a cache line.
+type statSlot struct {
+	commits atomic.Int64
+	aborts  atomic.Int64
+	_       [112]byte
+}
+
+// shard is one independent slice of the store: its own STM runtime,
+// transactional B-link tree, contention manager (with its own frame
+// clock, for window variants) and thread pool. Nothing here is shared
+// with any other shard.
+type shard struct {
+	idx  int
+	rt   *stm.Runtime
+	tree *txbtree.Tree[int64]
+	// wm is the manager when it is a window variant (occupancy gauge,
+	// frame hooks); nil for classic managers.
+	wm *core.Manager
+	wd *stm.Watchdog
+	// xmu is the cross-shard commit lock. Multi-shard operations hold it
+	// for their whole two-phase span — exclusively for writers, shared
+	// for readers — in ascending shard-index order; single-shard
+	// operations ride the read side so they can never observe a
+	// cross-shard commit half-applied. See txn.go for the ordering
+	// argument.
+	xmu sync.RWMutex
+	// pool hands out the runtime's threads. Claiming blocks when every
+	// thread of the shard is mid-transaction — backpressure, not queuing.
+	pool chan *stm.Thread
+	// stats is indexed by thread ID (single-writer while claimed).
+	stats []statSlot
+}
+
+// newShard builds shard idx from the resolved options.
+func newShard(idx int, o Options) (*shard, error) {
+	var mgr stm.ContentionManager
+	var wm *core.Manager
+	if v, err := core.ParseVariant(o.Manager); err == nil {
+		cfg := core.DefaultConfig(v, o.ShardThreads)
+		if o.WindowN > 0 {
+			cfg.N = o.WindowN
+		}
+		// Distinct per-shard seeds keep the managers' random delays and
+		// priorities decorrelated across shards.
+		cfg.Seed = o.Seed + uint64(idx)*0x9e3779b9 + 1
+		wm = core.NewManager(cfg)
+		mgr = wm
+	} else {
+		m, err := cm.New(o.Manager, o.ShardThreads)
+		if err != nil {
+			return nil, err
+		}
+		mgr = m
+	}
+	var opts []stm.Option
+	if o.Backend != "" {
+		opt, err := stm.BackendOption(o.Backend)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, opt)
+	}
+	watched := o.MaxAttempts > 0 || o.TxDeadline > 0
+	if watched {
+		opts = append(opts, stm.WithFallback(o.MaxAttempts, o.TxDeadline))
+	}
+	rt := stm.New(o.ShardThreads, mgr, opts...)
+	rt.SetYieldEvery(o.Interleave)
+	sh := &shard{
+		idx:   idx,
+		rt:    rt,
+		tree:  txbtree.New[int64](),
+		wm:    wm,
+		pool:  make(chan *stm.Thread, o.ShardThreads),
+		stats: make([]statSlot, o.ShardThreads),
+	}
+	for i := 0; i < o.ShardThreads; i++ {
+		sh.pool <- rt.Thread(i)
+	}
+	if watched {
+		// The stm default interval (5 ms) is tuned for benchmark harnesses;
+		// on a loaded service a healthy shard's goroutines can legitimately
+		// go unscheduled that long, so a service trip should mean "stuck
+		// for a whole transaction deadline", not scheduler jitter.
+		iv := o.TxDeadline
+		if iv <= 0 {
+			iv = DefaultTxDeadline
+		}
+		sh.wd = rt.StartWatchdog(iv)
+	}
+	return sh, nil
+}
+
+// claim checks a thread out of the pool, blocking until one is free.
+func (sh *shard) claim() *stm.Thread { return <-sh.pool }
+
+// release returns a claimed thread.
+func (sh *shard) release(t *stm.Thread) { sh.pool <- t }
+
+// record folds one finished operation's outcome into the claimed
+// thread's slot. Must be called before release (single-writer window).
+func (sh *shard) record(t *stm.Thread, info stm.TxInfo) {
+	s := &sh.stats[t.ID()]
+	s.commits.Store(s.commits.Load() + 1)
+	if a := int64(info.Aborts()); a > 0 {
+		s.aborts.Store(s.aborts.Load() + a)
+	}
+}
+
+// counts sums the shard's outcome slots.
+func (sh *shard) counts() (commits, aborts int64) {
+	for i := range sh.stats {
+		commits += sh.stats[i].commits.Load()
+		aborts += sh.stats[i].aborts.Load()
+	}
+	return
+}
+
+// occupancy reports the frame clock's pending registrations (window
+// managers only; zero otherwise).
+func (sh *shard) occupancy() (cur, total int64) {
+	if sh.wm == nil {
+		return 0, 0
+	}
+	return sh.wm.Occupancy()
+}
+
+// close stops the watchdog.
+func (sh *shard) close() {
+	if sh.wd != nil {
+		sh.wd.Stop()
+	}
+}

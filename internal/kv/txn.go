@@ -1,0 +1,137 @@
+package kv
+
+// Cross-shard transactions.
+//
+// A multi-key operation whose keys hash to more than one shard cannot be
+// a single STM transaction — the shards are independent runtimes by
+// design. Instead it commits via an ordered two-phase acquire over shard
+// indices:
+//
+//  1. Compute the involved-shard set and sort it ascending.
+//  2. Acquire each involved shard's commit lock in that order — exclusive
+//     (Lock) for writers, shared (RLock) for readers.
+//  3. While all locks are held, run one STM sub-transaction per involved
+//     shard (ascending), each applying just that shard's slice of the
+//     key set. Conflicts with concurrent single-shard transactions route
+//     through that shard's contention manager unchanged — the lock
+//     serializes cross-shard *spans*, not data access.
+//  4. Release in reverse order.
+//
+// Deadlock-freedom: every multi-shard operation acquires commit locks in
+// ascending shard order, so any wait-for edge between two multi-shard
+// operations points from a lower-indexed lock holder to a higher-indexed
+// one — the wait-for graph over locks is acyclic. Single-shard
+// operations hold exactly one read lock and never block on another lock
+// while holding it (thread claims within a shard cannot cycle either:
+// each claim is released before the lock is). STM-level conflicts under
+// the locks are resolved by the shard's contention manager, whose
+// liveness guarantees (kill/wait decisions plus the serialized
+// fallback) are unchanged from the single-runtime case.
+//
+// Strictness: a single-shard operation rides the read side of its
+// shard's lock, so it either runs entirely before a cross-shard writer's
+// span (sees none of its writes) or entirely after (sees all of that
+// shard's slice). It can never observe shard i updated but shard j not.
+// Two cross-shard writers with overlapping shard sets are fully
+// serialized by their common locks; readers (MGet/Scan) take the shared
+// side and so see either all or none of any writer's commit.
+
+// involved computes the sorted unique shard set of the staged keys into
+// se.shlist (insertion sort into the ascending list; the list is at most
+// min(len keys, Shards) long, so linear insertion is fine and allocates
+// nothing).
+func (se *Session) involved(keys []int64) {
+	se.nk = len(keys)
+	se.shlist = se.shlist[:0]
+	for i, k := range keys {
+		se.mkeys[i] = k
+		s := se.st.shardOf(k)
+		se.mshard[i] = int32(s)
+		pos := len(se.shlist)
+		for pos > 0 && se.shlist[pos-1] >= s {
+			if se.shlist[pos-1] == s {
+				pos = -1
+				break
+			}
+			pos--
+		}
+		if pos < 0 {
+			continue
+		}
+		se.shlist = append(se.shlist, 0)
+		copy(se.shlist[pos+1:], se.shlist[pos:])
+		se.shlist[pos] = s
+	}
+}
+
+// runMulti executes the staged multi-key operation: single-shard key sets
+// take the fast path (one sub-transaction under the shard's read lock —
+// shard-local atomicity is the STM's job); multi-shard sets do the
+// ordered two-phase acquire, write mode when exclusive is set.
+func (se *Session) runMulti(exclusive bool) {
+	shards := se.st.shards
+	if len(se.shlist) == 1 {
+		se.runSingle(shards[se.shlist[0]])
+		return
+	}
+	for _, i := range se.shlist {
+		if exclusive {
+			shards[i].xmu.Lock()
+		} else {
+			shards[i].xmu.RLock()
+		}
+	}
+	for _, i := range se.shlist {
+		se.runOn(shards[i])
+	}
+	for j := len(se.shlist) - 1; j >= 0; j-- {
+		if exclusive {
+			shards[se.shlist[j]].xmu.Unlock()
+		} else {
+			shards[se.shlist[j]].xmu.RUnlock()
+		}
+	}
+}
+
+// MGet reads up to MaxMultiKeys keys as one strictly serializable
+// cross-shard transaction. vals[i], present[i] receive key i's value and
+// existence; both slices must be at least len(keys) long.
+func (se *Session) MGet(keys, vals []int64, present []bool) error {
+	if len(keys) > MaxMultiKeys {
+		return ErrTooManyKeys
+	}
+	if len(vals) < len(keys) || len(present) < len(keys) {
+		return ErrBadArgs
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	se.involved(keys)
+	se.op = opMGet
+	se.runMulti(false)
+	for i := 0; i < se.nk; i++ {
+		vals[i], present[i] = se.mvals[i], se.mok[i]
+	}
+	return nil
+}
+
+// MSet upserts up to MaxMultiKeys key/value pairs atomically: a
+// concurrent reader sees all of the writes or none of them, even when
+// the keys span shards. Duplicate keys apply in argument order (last
+// wins). vals must be at least len(keys) long.
+func (se *Session) MSet(keys, vals []int64) error {
+	if len(keys) > MaxMultiKeys {
+		return ErrTooManyKeys
+	}
+	if len(vals) < len(keys) {
+		return ErrBadArgs
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	se.involved(keys)
+	copy(se.mvals[:len(keys)], vals)
+	se.op = opMSet
+	se.runMulti(true)
+	return nil
+}

@@ -122,6 +122,29 @@ func NewGauge(name, help string, fn func() float64) Gauge {
 	return gaugeFunc{name: name, help: help, fn: fn}
 }
 
+// NewLabeledGauge builds a Gauge whose sample line carries a Prometheus
+// label set: NewLabeledGauge("wincm_kv_shard_commits", `shard="3"`, ...)
+// renders as `wincm_kv_shard_commits{shard="3"} <v>`. Name() returns the
+// full series name (base plus label set), so each labeled series
+// registers independently while WritePrometheus emits the HELP/TYPE
+// header once per base name — the sharded KV service keys its per-shard
+// gauges this way. labels must be a well-formed label body (no braces).
+func NewLabeledGauge(name, labels, help string, fn func() float64) Gauge {
+	if labels == "" {
+		return gaugeFunc{name: name, help: help, fn: fn}
+	}
+	return gaugeFunc{name: name + "{" + labels + "}", help: help, fn: fn}
+}
+
+// baseOf strips a label set from a series name: the metric name Prometheus
+// HELP/TYPE headers must carry.
+func baseOf(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
 // GaugeSource is implemented by components that publish live gauges —
 // core.Manager exposes its window machinery this way, and any contention
 // manager implementing it is picked up by the harness automatically.
@@ -240,45 +263,57 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	cs, hs, gs := r.instruments()
 	type metric struct {
 		name string
-		emit func(io.Writer) error
+		emit func(w io.Writer, header bool) error
 	}
 	var ms []metric
 	for _, c := range cs {
 		c := c
-		ms = append(ms, metric{c.name, func(w io.Writer) error {
-			return writeSimple(w, c.name, c.help, "counter", float64(c.Value()))
+		ms = append(ms, metric{c.name, func(w io.Writer, header bool) error {
+			return writeSimple(w, c.name, c.help, "counter", float64(c.Value()), header)
 		}})
 	}
 	for _, g := range gs {
 		g := g
-		ms = append(ms, metric{g.Name(), func(w io.Writer) error {
-			return writeSimple(w, g.Name(), g.Help(), "gauge", g.Value())
+		ms = append(ms, metric{g.Name(), func(w io.Writer, header bool) error {
+			return writeSimple(w, g.Name(), g.Help(), "gauge", g.Value(), header)
 		}})
 	}
 	for _, h := range hs {
 		h := h
-		ms = append(ms, metric{h.name, h.writePrometheus})
+		ms = append(ms, metric{h.name, func(w io.Writer, _ bool) error {
+			return h.writePrometheus(w)
+		}})
 	}
 	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	// Labeled series of one base metric sort adjacently ('{' orders after
+	// every name character in use), so the HELP/TYPE header is emitted
+	// for the first series of each base only — the exposition-format rule.
+	last := ""
 	for _, m := range ms {
-		if err := m.emit(w); err != nil {
+		base := baseOf(m.name)
+		if err := m.emit(w, base != last); err != nil {
 			return err
 		}
+		last = base
 	}
 	return nil
 }
 
-// writeSimple emits one single-sample metric with HELP/TYPE headers.
-func writeSimple(w io.Writer, name, help, typ string, v float64) error {
-	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+// writeSimple emits one single-sample metric, with HELP/TYPE headers for
+// the base name when header is set (the first series of each base).
+func writeSimple(w io.Writer, series, help, typ string, v float64, header bool) error {
+	if header {
+		base := baseOf(series)
+		if help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	_, err := fmt.Fprintf(w, "%s %s\n", series, formatFloat(v))
 	return err
 }
 

@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -138,4 +139,52 @@ func TestSnapshotConcurrentWithWriters(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestLabeledGauges: per-shard series share one HELP/TYPE header, render
+// with their label sets, and register independently (duplicate label sets
+// still panic).
+func TestLabeledGauges(t *testing.T) {
+	r := telemetry.NewRegistry()
+	for i := 0; i < 3; i++ {
+		i := i
+		r.RegisterGauge(telemetry.NewLabeledGauge("kv_shard_commits",
+			fmt.Sprintf("shard=%q", fmt.Sprint(i)),
+			"commits per shard", func() float64 { return float64(10 * i) }))
+	}
+	r.RegisterGauge(telemetry.NewGauge("kv_plain", "unlabeled neighbor", func() float64 { return 1 }))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE kv_shard_commits gauge"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for the labeled base, got %d in:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP kv_shard_commits "); got != 1 {
+		t.Fatalf("want exactly one HELP header, got %d in:\n%s", got, out)
+	}
+	for i, want := range []string{
+		"kv_shard_commits{shard=\"0\"} 0\n",
+		"kv_shard_commits{shard=\"1\"} 10\n",
+		"kv_shard_commits{shard=\"2\"} 20\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series %d missing %q in:\n%s", i, want, out)
+		}
+	}
+	if !strings.Contains(out, "# TYPE kv_plain gauge\nkv_plain 1\n") {
+		t.Fatalf("unlabeled gauge lost its header in:\n%s", out)
+	}
+	// A snapshot keys labeled series by full name.
+	if v := r.Snapshot().Gauges[`kv_shard_commits{shard="1"}`]; v != 10 {
+		t.Fatalf("snapshot of labeled series = %v, want 10", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate labeled series did not panic")
+		}
+	}()
+	r.RegisterGauge(telemetry.NewLabeledGauge("kv_shard_commits", `shard="1"`,
+		"dup", func() float64 { return 0 }))
 }
