@@ -206,6 +206,13 @@ func main() {
 		errs int64
 	}
 	results := make([]result, *sessions)
+	// One shared Zipf for every session, built before the measurement
+	// deadline starts: the O(keys) zeta normalizer is milliseconds for
+	// millions of keys, and a per-session copy after the clock started
+	// would charge that setup to the measurement window. A Zipf is
+	// read-only after construction (each draw's state lives in the
+	// caller's Rand), so sharing it across sessions is safe.
+	zipf := rng.NewZipf(*keys, *theta)
 	deadline := time.Now().Add(*dur)
 	var wg sync.WaitGroup
 	errCh := make(chan error, *sessions)
@@ -220,7 +227,7 @@ func main() {
 			}
 			defer c.Close()
 			r := rng.New(*seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
-			z := rng.NewZipf(*keys, *theta)
+			z := zipf
 			res := &results[id]
 			mk := make([]int64, *mkeys)
 			mv := make([]int64, *mkeys)
@@ -271,6 +278,11 @@ func main() {
 					}
 					if rep.Kind == kv.ReplyError {
 						res.errs++
+						// Drop the request from the latency account too —
+						// an errored op is not in the ops counters, so
+						// recording its batch latency would skew the
+						// quantiles against a denominator it isn't in.
+						classes[d] = -1
 						continue
 					}
 					res.ops[classes[d]]++
@@ -280,7 +292,9 @@ func main() {
 				// per-request latency).
 				lat := time.Since(start).Nanoseconds()
 				for d := 0; d < *depth; d++ {
-					hists[classes[d]].Observe(id, lat)
+					if classes[d] >= 0 {
+						hists[classes[d]].Observe(id, lat)
+					}
 				}
 			}
 		}(s)

@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -203,6 +204,11 @@ func TestScanLimitsAndErrors(t *testing.T) {
 	if _, err := se.Scan(0, MaxScanSpan+1, 10); err != ErrScanSpan {
 		t.Fatalf("oversized span: %v", err)
 	}
+	// Signed hi-lo overflows here; the unsigned span guard must still
+	// reject rather than scan the whole key space.
+	if _, err := se.Scan(math.MinInt64, math.MaxInt64, 10); err != ErrScanSpan {
+		t.Fatalf("overflowing span: %v", err)
+	}
 	if _, err := se.Scan(0, 10, 0); err != ErrScanRange {
 		t.Fatalf("zero limit: %v", err)
 	}
@@ -302,6 +308,113 @@ func TestCrossShardAtomicity(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// TestCrossShardReadStrictness pins the anomaly that shared-side
+// cross-shard readers admitted: one writer alternates single-key
+// Set(a, i) then Set(b, i) — so at every real-time instant the
+// committed value of b trails (or equals) a — while cross-shard MGet
+// and Scan readers assert v(b) ≤ v(a). Under a shared acquire a reader
+// could read a, lose the processor, and read b after two later
+// independent single-key commits, observing v(b) > v(a): a
+// serialization cycle with the real-time order. The exclusive acquire
+// makes the read span atomic against single-key writers too.
+func TestCrossShardReadStrictness(t *testing.T) {
+	st := testStore(t, Options{Shards: 4, ShardThreads: 2, Interleave: 8, Seed: 7})
+	a, b := adversarialPair(st)
+	// Readers visit shards in ascending index order, so the race only
+	// shows when the first-written key lives on the lower-indexed shard
+	// (read first, then overtaken while the reader crosses to the other
+	// shard). Order the pair to make the writer adversarial.
+	if st.shardOf(a) > st.shardOf(b) {
+		a, b = b, a
+	}
+	// Filler keys on the probed shards widen the read span: the MGet
+	// reads a first, then does real tree work on both shards, then reads
+	// b last — giving a shared-side (buggy) reader a wide window in
+	// which the writer can commit both keys between the two probes.
+	var fillA, fillB []int64
+	maxKey := a
+	for k := int64(0); len(fillA) < 6 || len(fillB) < 6; k++ {
+		if k == a || k == b {
+			continue
+		}
+		switch st.shardOf(k) {
+		case st.shardOf(a):
+			if len(fillA) < 6 {
+				fillA = append(fillA, k)
+			}
+		case st.shardOf(b):
+			if len(fillB) < 6 {
+				fillB = append(fillB, k)
+			}
+		default:
+			continue
+		}
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	if b > maxKey {
+		maxKey = b
+	}
+	mgetKeys := append(append(append([]int64{a}, fillA...), fillB...), b)
+	init := st.NewSession()
+	for _, k := range mgetKeys {
+		init.Set(k, 0)
+	}
+	// One reader phase at a time against the live writer: with the buggy
+	// shared acquire, concurrent cross-shard readers pile retry storms on
+	// each other and the run livelocks before it can report; a lone
+	// reader surfaces the inversion on nearly every iteration.
+	const iters = 50
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		se := st.NewSession()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			se.Set(a, i)
+			se.Set(b, i)
+		}
+	}()
+	ia, ib := 0, len(mgetKeys)-1
+	rd := st.NewSession()
+	vals := make([]int64, len(mgetKeys))
+	present := make([]bool, len(mgetKeys))
+	for i := 0; i < iters; i++ {
+		if err := rd.MGet(mgetKeys, vals, present); err != nil {
+			t.Fatal(err)
+		}
+		if vals[ib] > vals[ia] {
+			t.Fatalf("MGet inverted snapshot: a=%d b=%d (b is written after a, so it can only trail)", vals[ia], vals[ib])
+		}
+	}
+	for i := 0; i < iters; i++ {
+		if _, err := rd.Scan(0, maxKey+1, int(maxKey)+1); err != nil {
+			t.Fatal(err)
+		}
+		var va, vb int64
+		for j, k := range rd.ScanKeys() {
+			if k == a {
+				va = rd.ScanVals()[j]
+			}
+			if k == b {
+				vb = rd.ScanVals()[j]
+			}
+		}
+		if vb > va {
+			t.Fatalf("Scan inverted snapshot: a=%d b=%d", va, vb)
+		}
+	}
+	close(stop)
+	wwg.Wait()
 }
 
 // TestCrossShardLiveness mixes single-key traffic, cross-shard writers

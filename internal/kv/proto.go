@@ -13,8 +13,10 @@ package kv
 //	MSET <key> <val> ...
 //	SCAN <lo> <hi> <limit>
 //
-// Keys and values are signed 64-bit integers in decimal. Replies use the
-// RESP type sigils:
+// Keys and values are signed 64-bit integers in decimal; keys (and the
+// SCAN limit) must also fit the server's platform int — vacuous on
+// 64-bit hosts, a -ERR on 32-bit ones, never a silent truncation.
+// Replies use the RESP type sigils:
 //
 //	+OK\r\n  +PONG\r\n      simple strings (SET, MSET, PING)
 //	:<n>\r\n               integers (GET hit, DEL count, array elements)
@@ -38,6 +40,7 @@ var (
 	errBadInt   = errors.New("value is not an integer")
 	errTooMany  = errors.New("too many keys")
 	errLineLen  = errors.New("request line too long")
+	errKeyRange = errors.New("key out of range")
 )
 
 // cmdKind discriminates a parsed request.
@@ -171,6 +174,9 @@ func parseRequest(line []byte, req *request) error {
 			return err
 		}
 		req.key = a[0]
+		if !keyFits(req.key) {
+			return errKeyRange
+		}
 		return done()
 	case eqFold(tok, "SET"):
 		req.cmd = cmdSet
@@ -179,6 +185,9 @@ func parseRequest(line []byte, req *request) error {
 			return err
 		}
 		req.key, req.val = a[0], a[1]
+		if !keyFits(req.key) {
+			return errKeyRange
+		}
 		return done()
 	case eqFold(tok, "DEL"):
 		req.cmd = cmdDel
@@ -187,6 +196,9 @@ func parseRequest(line []byte, req *request) error {
 			return err
 		}
 		req.key = a[0]
+		if !keyFits(req.key) {
+			return errKeyRange
+		}
 		return done()
 	case eqFold(tok, "MGET"):
 		req.cmd = cmdMGet
@@ -203,6 +215,9 @@ func parseRequest(line []byte, req *request) error {
 			v, ok := parseInt64(f)
 			if !ok {
 				return errBadInt
+			}
+			if !keyFits(v) {
+				return errKeyRange
 			}
 			req.keys[req.nk] = v
 			req.nk++
@@ -227,6 +242,9 @@ func parseRequest(line []byte, req *request) error {
 			if !ok {
 				return errBadInt
 			}
+			if !keyFits(k) {
+				return errKeyRange
+			}
 			f, rest = nextField(rest)
 			if len(f) == 0 {
 				return errArgCount // key without value
@@ -247,6 +265,12 @@ func parseRequest(line []byte, req *request) error {
 		var a [3]int64
 		if err := ints(a[:], 3); err != nil {
 			return err
+		}
+		// limit shares the int conversion, so it gets the same range
+		// guard as the keys (a truncated limit would silently change the
+		// request on a 32-bit platform).
+		if !keyFits(a[0]) || !keyFits(a[1]) || !keyFits(a[2]) {
+			return errKeyRange
 		}
 		req.lo, req.hi, req.limit = a[0], a[1], int(a[2])
 		return done()

@@ -13,8 +13,9 @@ import (
 const MaxMultiKeys = 64
 
 // MaxScanSpan bounds a range scan's key span (hi − lo): a scan must
-// visit every shard, so an unbounded span would let one request hold
-// every shard's read lock for arbitrary work.
+// visit every shard and holds every shard's lock exclusively, so an
+// unbounded span would let one request stall the whole store for
+// arbitrary work.
 const MaxScanSpan = 4096
 
 // Preallocated request errors — the request path reports misuse without
@@ -24,7 +25,26 @@ var (
 	ErrScanSpan    = errors.New("kv: scan span exceeds MaxScanSpan")
 	ErrScanRange   = errors.New("kv: scan needs lo < hi and limit > 0")
 	ErrBadArgs     = errors.New("kv: output slices shorter than key slice")
+	ErrKeyRange    = errors.New("kv: key outside the platform int range")
 )
+
+// keyFits reports whether a wire key survives the tree's int key
+// conversion. On 64-bit platforms this is constant true (and the
+// compiler erases the checks built on it); on a 32-bit platform distinct
+// int64 keys outside the int range would alias after truncation, so
+// every entry layer — wire parse, multi-key, scan — rejects them
+// instead.
+func keyFits(k int64) bool { return int64(int(k)) == k }
+
+// keysFit applies keyFits across a key slice.
+func keysFit(keys []int64) bool {
+	for _, k := range keys {
+		if !keyFits(k) {
+			return false
+		}
+	}
+	return true
+}
 
 // opKind selects what Session.exec does inside the claimed thread's
 // transaction.
@@ -45,6 +65,13 @@ const (
 // single-shard request path — claim thread, run the transaction, record,
 // release — allocates nothing. Sessions are cheap; make one per
 // connection.
+//
+// Keys are int64 on the wire but the tree is keyed by int: every key
+// must satisfy keyFits. The error-returning surfaces (MGet, MSet, Scan)
+// and the wire parser reject offenders with ErrKeyRange; the
+// no-error single-key surfaces (Get, Set, Del) make fitting keys the
+// caller's contract — the wire layer already guarantees it for served
+// traffic, and on 64-bit platforms every int64 fits.
 type Session struct {
 	st *Store
 	// sh is the shard of the sub-transaction currently executing; op and
@@ -187,28 +214,35 @@ func (s scanSorter) Swap(i, j int) {
 // ascending key order and returns the count; read the pairs from
 // ScanKeys/ScanVals (valid until the session's next operation). Keys are
 // hash-routed, so the range spans every shard: Scan is a cross-shard
-// read transaction — all shard locks in read mode, ascending, one
-// sub-scan per shard — then a merge sort of the per-shard results.
+// read transaction — every shard lock exclusively, ascending (the
+// shared side would not be a consistent snapshot against single-key
+// writers; see txn.go), one sub-scan per shard — then a merge sort of
+// the per-shard results.
 func (se *Session) Scan(lo, hi int64, limit int) (int, error) {
 	if hi <= lo || limit <= 0 {
 		return 0, ErrScanRange
 	}
-	if hi-lo > MaxScanSpan {
+	// Unsigned difference: exact for hi > lo, where the signed hi-lo can
+	// overflow (lo deeply negative, hi large) and dodge the span guard.
+	if uint64(hi)-uint64(lo) > MaxScanSpan {
 		return 0, ErrScanSpan
+	}
+	if !keyFits(lo) || !keyFits(hi) {
+		return 0, ErrKeyRange
 	}
 	se.op, se.lo, se.hi = opScan, lo, hi
 	se.scanKeys = se.scanKeys[:0]
 	se.scanVals = se.scanVals[:0]
 	shards := se.st.shards
 	for _, sh := range shards {
-		sh.xmu.RLock()
+		sh.xmu.Lock()
 	}
 	for _, sh := range shards {
 		se.scanBase = len(se.scanKeys)
 		se.runOn(sh)
 	}
 	for i := len(shards) - 1; i >= 0; i-- {
-		shards[i].xmu.RUnlock()
+		shards[i].xmu.Unlock()
 	}
 	sort.Sort(se.sorter)
 	n := len(se.scanKeys)

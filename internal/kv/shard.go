@@ -32,12 +32,12 @@ type shard struct {
 	// frame hooks); nil for classic managers.
 	wm *core.Manager
 	wd *stm.Watchdog
-	// xmu is the cross-shard commit lock. Multi-shard operations hold it
-	// for their whole two-phase span — exclusively for writers, shared
-	// for readers — in ascending shard-index order; single-shard
-	// operations ride the read side so they can never observe a
-	// cross-shard commit half-applied. See txn.go for the ordering
-	// argument.
+	// xmu is the cross-shard commit lock. Multi-shard operations —
+	// readers and writers alike — hold it exclusively for their whole
+	// two-phase span, in ascending shard-index order; single-shard
+	// operations ride the read side, so they never overlap a cross-shard
+	// span on their shard while staying fully concurrent with each
+	// other. See txn.go for the ordering and strictness arguments.
 	xmu sync.RWMutex
 	// pool hands out the runtime's threads. Claiming blocks when every
 	// thread of the shard is mid-transaction — backpressure, not queuing.

@@ -8,8 +8,8 @@ package kv
 // indices:
 //
 //  1. Compute the involved-shard set and sort it ascending.
-//  2. Acquire each involved shard's commit lock in that order — exclusive
-//     (Lock) for writers, shared (RLock) for readers.
+//  2. Acquire each involved shard's commit lock in that order —
+//     exclusively (Lock), for readers and writers alike.
 //  3. While all locks are held, run one STM sub-transaction per involved
 //     shard (ascending), each applying just that shard's slice of the
 //     key set. Conflicts with concurrent single-shard transactions route
@@ -28,13 +28,33 @@ package kv
 // liveness guarantees (kill/wait decisions plus the serialized
 // fallback) are unchanged from the single-runtime case.
 //
-// Strictness: a single-shard operation rides the read side of its
-// shard's lock, so it either runs entirely before a cross-shard writer's
-// span (sees none of its writes) or entirely after (sees all of that
-// shard's slice). It can never observe shard i updated but shard j not.
-// Two cross-shard writers with overlapping shard sets are fully
-// serialized by their common locks; readers (MGet/Scan) take the shared
-// side and so see either all or none of any writer's commit.
+// Strict serializability — two-phase locking at shard granularity:
+//
+//   - A cross-shard operation (MSet, MGet, Scan) holds the exclusive
+//     side of every involved shard's lock simultaneously for its whole
+//     span, so any two cross-shard operations with overlapping shard
+//     sets have disjoint spans, and a single-shard operation (shared
+//     side) cannot overlap a cross-shard span on its shard. Serialize
+//     each cross-shard operation at its span.
+//   - Single-shard operations on one shard are serialized by that
+//     shard's STM in commit order, which respects real time, and they
+//     fall entirely before or entirely after any cross-shard span on
+//     that shard — consistent with the span order above. Operations on
+//     disjoint shards never conflict.
+//
+// Every conflict edge therefore agrees with real-time span order: the
+// history is strictly serializable. Readers paying the exclusive side
+// is load-bearing, not pessimism: if MGet took the shared side it
+// would exclude MSets but not single-key writers, and an MGet spanning
+// shards A,B could read A (missing a committed-later W_A), then W_A
+// and an independent W_B commit, then read B observing W_B — forcing
+// the reader after W_B but before W_A, a cycle with the real-time
+// order W_A < W_B. The shared side only ever bought per-operation
+// atomicity against cross-shard writers, not a consistent snapshot.
+// The cost of the exclusive side — single-key traffic on the involved
+// shards blocks for the span, and cross-shard readers serialize with
+// each other — is the price of the snapshot; EXPERIMENTS.md measures
+// it.
 
 // involved computes the sorted unique shard set of the staged keys into
 // se.shlist (insertion sort into the ascending list; the list is at most
@@ -67,29 +87,22 @@ func (se *Session) involved(keys []int64) {
 // runMulti executes the staged multi-key operation: single-shard key sets
 // take the fast path (one sub-transaction under the shard's read lock —
 // shard-local atomicity is the STM's job); multi-shard sets do the
-// ordered two-phase acquire, write mode when exclusive is set.
-func (se *Session) runMulti(exclusive bool) {
+// ordered two-phase acquire, exclusive for readers and writers alike
+// (see the strictness argument above).
+func (se *Session) runMulti() {
 	shards := se.st.shards
 	if len(se.shlist) == 1 {
 		se.runSingle(shards[se.shlist[0]])
 		return
 	}
 	for _, i := range se.shlist {
-		if exclusive {
-			shards[i].xmu.Lock()
-		} else {
-			shards[i].xmu.RLock()
-		}
+		shards[i].xmu.Lock()
 	}
 	for _, i := range se.shlist {
 		se.runOn(shards[i])
 	}
 	for j := len(se.shlist) - 1; j >= 0; j-- {
-		if exclusive {
-			shards[se.shlist[j]].xmu.Unlock()
-		} else {
-			shards[se.shlist[j]].xmu.RUnlock()
-		}
+		shards[se.shlist[j]].xmu.Unlock()
 	}
 }
 
@@ -106,9 +119,12 @@ func (se *Session) MGet(keys, vals []int64, present []bool) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	if !keysFit(keys) {
+		return ErrKeyRange
+	}
 	se.involved(keys)
 	se.op = opMGet
-	se.runMulti(false)
+	se.runMulti()
 	for i := 0; i < se.nk; i++ {
 		vals[i], present[i] = se.mvals[i], se.mok[i]
 	}
@@ -129,9 +145,12 @@ func (se *Session) MSet(keys, vals []int64) error {
 	if len(keys) == 0 {
 		return nil
 	}
+	if !keysFit(keys) {
+		return ErrKeyRange
+	}
 	se.involved(keys)
 	copy(se.mvals[:len(keys)], vals)
 	se.op = opMSet
-	se.runMulti(true)
+	se.runMulti()
 	return nil
 }

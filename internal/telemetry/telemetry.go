@@ -263,38 +263,45 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	cs, hs, gs := r.instruments()
 	type metric struct {
 		name string
+		base string
 		emit func(w io.Writer, header bool) error
 	}
 	var ms []metric
 	for _, c := range cs {
 		c := c
-		ms = append(ms, metric{c.name, func(w io.Writer, header bool) error {
+		ms = append(ms, metric{c.name, baseOf(c.name), func(w io.Writer, header bool) error {
 			return writeSimple(w, c.name, c.help, "counter", float64(c.Value()), header)
 		}})
 	}
 	for _, g := range gs {
 		g := g
-		ms = append(ms, metric{g.Name(), func(w io.Writer, header bool) error {
+		ms = append(ms, metric{g.Name(), baseOf(g.Name()), func(w io.Writer, header bool) error {
 			return writeSimple(w, g.Name(), g.Help(), "gauge", g.Value(), header)
 		}})
 	}
 	for _, h := range hs {
 		h := h
-		ms = append(ms, metric{h.name, func(w io.Writer, _ bool) error {
+		ms = append(ms, metric{h.name, baseOf(h.name), func(w io.Writer, _ bool) error {
 			return h.writePrometheus(w)
 		}})
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
-	// Labeled series of one base metric sort adjacently ('{' orders after
-	// every name character in use), so the HELP/TYPE header is emitted
-	// for the first series of each base only — the exposition-format rule.
+	// Sort by (base, series), not series alone: '{' orders after '_', so
+	// a labeled series of base X would otherwise sort after X_suffix and
+	// split X's group, duplicating its HELP/TYPE header — invalid
+	// exposition. Grouping by base keeps one header per base metric no
+	// matter what other names the registry holds.
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].base != ms[j].base {
+			return ms[i].base < ms[j].base
+		}
+		return ms[i].name < ms[j].name
+	})
 	last := ""
 	for _, m := range ms {
-		base := baseOf(m.name)
-		if err := m.emit(w, base != last); err != nil {
+		if err := m.emit(w, m.base != last); err != nil {
 			return err
 		}
-		last = base
+		last = m.base
 	}
 	return nil
 }

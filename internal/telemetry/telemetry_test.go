@@ -141,6 +141,29 @@ func TestSnapshotConcurrentWithWriters(t *testing.T) {
 	wg.Wait()
 }
 
+// TestLabeledGaugeGrouping: a base name used both labeled and unlabeled
+// next to a prefix-extending neighbor ('{' sorts after '_', so plain
+// name order would interleave x < x_suffix < x{...} and emit x's
+// HELP/TYPE header twice — invalid exposition). Grouping by base name
+// must keep one header per base regardless of neighbors.
+func TestLabeledGaugeGrouping(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.RegisterGauge(telemetry.NewGauge("x", "base", func() float64 { return 1 }))
+	r.RegisterGauge(telemetry.NewGauge("x_suffix", "neighbor", func() float64 { return 2 }))
+	r.RegisterGauge(telemetry.NewLabeledGauge("x", `shard="0"`, "base", func() float64 { return 3 }))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE x gauge\n"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for base x, got %d in:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE x_suffix gauge\n"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for x_suffix, got %d in:\n%s", got, out)
+	}
+}
+
 // TestLabeledGauges: per-shard series share one HELP/TYPE header, render
 // with their label sets, and register independently (duplicate label sets
 // still panic).
